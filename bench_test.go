@@ -1,0 +1,119 @@
+package llmsql
+
+// This file regenerates every table and figure of the (reconstructed)
+// evaluation as Go benchmarks; see DESIGN.md §4 for the experiment index.
+// Each benchmark runs the corresponding experiment at a reduced scale per
+// iteration and reports the headline quality metric alongside the standard
+// time/alloc columns. `cmd/llmsql-bench` runs the same experiments at full
+// scale with full table output.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"llmsql/internal/bench"
+)
+
+// benchOptions keeps per-iteration work bounded; full-scale numbers come
+// from cmd/llmsql-bench.
+func benchOptions() bench.Options { return bench.Options{Seed: 2024, Scale: 0.25} }
+
+// runExperiment executes an experiment b.N times and reports metric
+// (extracted from the first data row's named column) when found.
+func runExperiment(b *testing.B, run func(bench.Options) (bench.Report, error), metricCol string, metricName string) {
+	b.Helper()
+	var last bench.Report
+	for i := 0; i < b.N; i++ {
+		r, err := run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if v, ok := extractMetric(last.Body, metricCol); ok {
+		b.ReportMetric(v, metricName)
+	}
+}
+
+// extractMetric finds the named column in the header and returns its value
+// from the first data row.
+func extractMetric(body, col string) (float64, bool) {
+	lines := strings.Split(body, "\n")
+	if len(lines) < 3 {
+		return 0, false
+	}
+	header := strings.Split(lines[0], "  ")
+	colIdx := -1
+	cleaned := make([]string, 0, len(header))
+	for _, h := range header {
+		h = strings.TrimSpace(h)
+		if h != "" {
+			cleaned = append(cleaned, h)
+		}
+	}
+	for i, h := range cleaned {
+		if h == col {
+			colIdx = i
+		}
+	}
+	if colIdx < 0 {
+		return 0, false
+	}
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) <= colIdx {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSuffix(fields[colIdx], "%"), 64)
+		if err != nil {
+			continue
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+func BenchmarkTable2RetrievalQuality(b *testing.B) {
+	runExperiment(b, bench.Table2RetrievalQuality, "F1", "F1")
+}
+
+func BenchmarkTable3QueryClasses(b *testing.B) {
+	runExperiment(b, bench.Table3QueryClasses, "mean F1", "meanF1")
+}
+
+func BenchmarkTable4Strategies(b *testing.B) {
+	runExperiment(b, bench.Table4Strategies, "F1", "F1")
+}
+
+func BenchmarkTable5Voting(b *testing.B) {
+	runExperiment(b, bench.Table5Voting, "attr-acc", "attrAcc")
+}
+
+func BenchmarkTable6VsBaseline(b *testing.B) {
+	runExperiment(b, bench.Table6VsBaseline, "LLM tokens", "tokens")
+}
+
+func BenchmarkTable7Ablations(b *testing.B) {
+	runExperiment(b, bench.Table7Ablations, "F1", "F1")
+}
+
+func BenchmarkFigure4Convergence(b *testing.B) {
+	runExperiment(b, bench.Figure4Convergence, "recall(country)", "recall")
+}
+
+func BenchmarkFigure5ModelQuality(b *testing.B) {
+	runExperiment(b, bench.Figure5ModelQuality, "F1 (temp 0)", "F1temp0")
+}
+
+func BenchmarkFigure6Popularity(b *testing.B) {
+	runExperiment(b, bench.Figure6Popularity, "recall(country)", "headRecall")
+}
+
+func BenchmarkFigure7Crossover(b *testing.B) {
+	runExperiment(b, bench.Figure7Crossover, "LLM tokens", "tokens")
+}
+
+func BenchmarkTable8Confidence(b *testing.B) {
+	runExperiment(b, bench.Table8Confidence, "precision", "precision")
+}

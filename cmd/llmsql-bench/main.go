@@ -1,0 +1,48 @@
+// Command llmsql-bench runs the full experiment suite — every table and
+// figure of the reconstructed evaluation — and prints the reports in paper
+// order. The output of a full-scale run is recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	llmsql-bench [-seed N] [-scale F] [-only "Table 4"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"llmsql/internal/bench"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 2024, "world and model seed")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-style)")
+		only  = flag.String("only", "", "run only the experiment whose ID contains this substring")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Seed: *seed, Scale: *scale}
+	start := time.Now()
+	reports, err := bench.RunAll(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llmsql-bench:", err)
+		os.Exit(1)
+	}
+	printed := 0
+	for _, r := range reports {
+		if *only != "" && !strings.Contains(strings.ToLower(r.ID), strings.ToLower(*only)) {
+			continue
+		}
+		fmt.Println(r.String())
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "llmsql-bench: no experiment matches -only=%q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("— %d experiments in %v (seed %d, scale %.2f)\n", printed, time.Since(start).Round(time.Millisecond), *seed, *scale)
+}

@@ -1,0 +1,208 @@
+// Command llmsql runs SQL queries against LLM storage from the terminal.
+//
+// It wires a synthetic world, a simulated model at the chosen quality tier,
+// and the query engine, then executes the query (or an interactive loop on
+// stdin) and prints rows plus the retrieval report: prompts issued, tokens,
+// simulated latency/$ and — when --score is set — precision/recall/F1
+// against the world's ground truth.
+//
+// Usage:
+//
+//	llmsql [flags] "SELECT name, capital FROM country WHERE population > 50"
+//	llmsql [flags]            # interactive: one query per line
+//
+// Flags: see -help.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"llmsql/internal/core"
+	"llmsql/internal/exec"
+	"llmsql/internal/llm"
+	"llmsql/internal/metrics"
+	"llmsql/internal/plan"
+	"llmsql/internal/sql"
+	"llmsql/internal/storage"
+	"llmsql/internal/world"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 2024, "world and model seed")
+		profile   = flag.String("model", "medium", "model quality tier: small, medium, large")
+		strategy  = flag.String("strategy", "full-table", "prompt strategy: full-table, key-then-attr, paged")
+		temp      = flag.Float64("temp", 0.7, "sampling temperature")
+		rounds    = flag.Int("rounds", 8, "max sampling rounds")
+		votes     = flag.Int("votes", 1, "self-consistency votes for attribute retrieval")
+		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts")
+		tolerant  = flag.Bool("tolerant", true, "use the repairing completion parser")
+		score     = flag.Bool("score", false, "score results against the ground truth")
+		explain   = flag.Bool("explain", false, "print the plan instead of executing")
+		analyze   = flag.Bool("analyze", false, "execute and print the plan with per-operator row counts")
+		countries = flag.Int("countries", 120, "world size: countries")
+		movies    = flag.Int("movies", 200, "world size: movies")
+	)
+	flag.Parse()
+
+	w := world.Generate(world.Config{
+		Seed:      *seed,
+		Countries: *countries,
+		Movies:    *movies,
+		Laureates: 100,
+		Companies: 100,
+	})
+	noise, err := profileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Temperature = *temp
+	cfg.MaxRounds = *rounds
+	cfg.Votes = *votes
+	cfg.Pushdown = *pushdown
+	cfg.Tolerant = *tolerant
+	cfg.Strategy, err = strategyByName(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := core.New(llm.NewSynthLM(w, noise, *seed), cfg)
+	for _, name := range w.DomainNames() {
+		eng.RegisterWorldDomain(w.Domain(name))
+	}
+
+	var truthDB *storage.DB
+	if *score {
+		truthDB, err = world.LoadDB(w)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	runOne := func(query string) {
+		if *explain {
+			out, err := eng.Explain(query)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Print(out)
+			return
+		}
+		// DDL/DML goes to the local side (hybrid queries).
+		upper := strings.ToUpper(strings.TrimSpace(query))
+		if strings.HasPrefix(upper, "CREATE") || strings.HasPrefix(upper, "INSERT") {
+			if err := eng.Exec(query); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+			return
+		}
+		var res *core.QueryResult
+		var err error
+		if *analyze {
+			var analyzed string
+			res, analyzed, err = eng.QueryAnalyze(query)
+			if err == nil {
+				fmt.Print(analyzed)
+			}
+		} else {
+			res, err = eng.Query(query)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Print(core.FormatResult(res.Result))
+		fmt.Printf("model: %d calls, %d tokens, simulated %v / $%.4f\n",
+			res.Usage.Calls, res.Usage.TotalTokens(), res.Usage.SimLatency.Round(1e6), res.Usage.SimDollars)
+		for _, s := range res.Scans {
+			fmt.Printf("scan %s [%s]: %d prompts, %d rounds, %d rows, %d dupes dropped, %d repairs\n",
+				s.Table, s.Strategy, s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
+		}
+		if truthDB != nil {
+			scoreQuery(truthDB, query, res)
+		}
+	}
+
+	if flag.NArg() > 0 {
+		runOne(strings.Join(flag.Args(), " "))
+		return
+	}
+
+	fmt.Println("llmsql interactive — one SELECT per line, Ctrl-D to exit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("llmsql> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit") {
+			return
+		}
+		runOne(line)
+	}
+}
+
+func scoreQuery(db *storage.DB, query string, res *core.QueryResult) {
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		return
+	}
+	node, err := plan.Plan(sel, &exec.StorageCatalog{DB: db})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "score: baseline plan failed:", err)
+		return
+	}
+	truth, err := exec.Execute(node, &exec.StorageSource{DB: db})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "score: baseline run failed:", err)
+		return
+	}
+	m := metrics.Compare(res.Result.Rows, truth.Rows, metrics.Options{NumTolerance: 0.02})
+	fmt.Printf("score vs ground truth: precision %.3f, recall %.3f, F1 %.3f, attr-acc %.3f, hallucinated %.1f%%\n",
+		m.Precision(), m.Recall(), m.F1(), m.AttrAccuracy(), 100*m.HallucinationRate())
+}
+
+func profileByName(name string) (llm.NoiseProfile, error) {
+	switch strings.ToLower(name) {
+	case "small":
+		return llm.ProfileSmall, nil
+	case "medium":
+		return llm.ProfileMedium, nil
+	case "large":
+		return llm.ProfileLarge, nil
+	default:
+		return llm.NoiseProfile{}, fmt.Errorf("unknown model tier %q (want small, medium or large)", name)
+	}
+}
+
+func strategyByName(name string) (core.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "full-table", "full":
+		return core.StrategyFullTable, nil
+	case "key-then-attr", "kta":
+		return core.StrategyKeyThenAttr, nil
+	case "paged":
+		return core.StrategyPaged, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llmsql:", err)
+	os.Exit(1)
+}

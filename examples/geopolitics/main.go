@@ -1,0 +1,84 @@
+// Geopolitics analytics over LLM storage: joins, grouping and aggregation
+// across two virtual tables, with a ground-truth comparison showing how far
+// the LLM answers drift — the workload class the paper's introduction
+// motivates ("ask the model your BI questions in SQL").
+//
+//	go run ./examples/geopolitics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmsql"
+	"llmsql/internal/exec"
+	"llmsql/internal/plan"
+	"llmsql/internal/sql"
+)
+
+func main() {
+	w := llmsql.GenerateWorld(llmsql.WorldConfig{Seed: 7})
+	eng := llmsql.New(llmsql.NewSynthLM(w, llmsql.ProfileMedium, 7), llmsql.DefaultConfig())
+	for _, name := range w.DomainNames() {
+		eng.RegisterWorldDomain(w.Domain(name))
+	}
+	truthDB, err := llmsql.LoadWorldDB(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct {
+		title string
+		query string
+	}{
+		{
+			"Population by continent",
+			`SELECT continent, COUNT(*) AS countries, SUM(population) AS total_pop
+			 FROM country GROUP BY continent ORDER BY total_pop DESC`,
+		},
+		{
+			"Where do the big companies sit?",
+			`SELECT c.continent, COUNT(*) AS hq_count
+			 FROM company k JOIN country c ON k.country = c.name
+			 WHERE k.revenue > 20
+			 GROUP BY c.continent ORDER BY hq_count DESC`,
+		},
+		{
+			"Laureates from populous countries",
+			`SELECT l.field, COUNT(*) AS n
+			 FROM laureate l
+			 WHERE l.country IN (SELECT name FROM country WHERE population > 80)
+			 GROUP BY l.field ORDER BY n DESC`,
+		},
+	}
+
+	for _, q := range queries {
+		fmt.Printf("== %s ==\n", q.title)
+		res, err := eng.Query(q.query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("LLM storage says:")
+		fmt.Print(llmsql.FormatResult(res.Result))
+
+		truth, err := runBaseline(truthDB, q.query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("ground truth says:")
+		fmt.Print(llmsql.FormatResult(truth))
+		fmt.Printf("(query cost: %d prompts, %d tokens)\n\n", res.Usage.Calls, res.Usage.TotalTokens())
+	}
+}
+
+func runBaseline(db *llmsql.DB, query string) (*llmsql.Result, error) {
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		return nil, err
+	}
+	node, err := plan.Plan(sel, &exec.StorageCatalog{DB: db})
+	if err != nil {
+		return nil, err
+	}
+	return exec.Execute(node, &exec.StorageSource{DB: db})
+}

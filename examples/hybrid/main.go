@@ -1,0 +1,58 @@
+// Hybrid execution: a private local table (your data) joined against a
+// virtual LLM-backed table (world knowledge) in a single SQL statement —
+// the engine routes each scan to the right source and only the virtual
+// side consumes tokens.
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmsql"
+)
+
+func main() {
+	w := llmsql.GenerateWorld(llmsql.WorldConfig{Seed: 19})
+	eng := llmsql.New(llmsql.NewSynthLM(w, llmsql.ProfileLarge, 19), llmsql.DefaultConfig())
+	eng.RegisterWorldDomain(w.Domain("country"))
+
+	// A local table the model has never seen: our sales pipeline.
+	local := llmsql.NewDB()
+	sales, err := local.CreateTable("pipeline", llmsql.NewSchema(
+		llmsql.Column{Name: "country_name", Type: llmsql.TypeText, Key: true},
+		llmsql.Column{Name: "deals", Type: llmsql.TypeInt},
+		llmsql.Column{Name: "value_musd", Type: llmsql.TypeFloat},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, key := range w.Domain("country").TopKeys(8) {
+		if err := sales.Insert(llmsql.Row{
+			llmsql.Text(key),
+			llmsql.Int(int64(3 + i%4)),
+			llmsql.Float(float64(10 + 7*i)),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.AttachLocal(local)
+
+	// Enrich the private pipeline with world knowledge from the model:
+	// which deals sit in large markets?
+	res, err := eng.Query(`
+		SELECT p.country_name, p.deals, p.value_musd, c.population, c.continent
+		FROM pipeline p JOIN country c ON c.name = p.country_name
+		WHERE c.population > 10
+		ORDER BY p.value_musd DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(llmsql.FormatResult(res.Result))
+	fmt.Printf("\ntokens spent (virtual side only): %d across %d prompts\n",
+		res.Usage.TotalTokens(), res.Usage.Calls)
+	for _, s := range res.Scans {
+		fmt.Printf("LLM scan: %s (%d rows)\n", s.Table, s.RowsEmitted)
+	}
+}

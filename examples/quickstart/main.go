@@ -1,0 +1,48 @@
+// Quickstart: declare a virtual table backed by an LLM, run SQL against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmsql"
+)
+
+func main() {
+	// 1. A world for the simulated model to "know". With a hosted model
+	//    this step disappears — the model already knows the world.
+	w := llmsql.GenerateWorld(llmsql.WorldConfig{Seed: 42})
+
+	// 2. A model. llmsql ships a deterministic simulated LLM; anything
+	//    implementing llmsql.Model (Complete(prompt) -> text) plugs in.
+	model := llmsql.NewSynthLM(w, llmsql.ProfileMedium, 42)
+
+	// 3. The engine, with virtual tables declared from the world's
+	//    domains (schema + natural-language column descriptions).
+	eng := llmsql.New(model, llmsql.DefaultConfig())
+	for _, name := range w.DomainNames() {
+		eng.RegisterWorldDomain(w.Domain(name))
+	}
+
+	// 4. SQL. The scan of `country` is answered by prompting the model;
+	//    filtering, ordering and limiting run in the engine.
+	res, err := eng.Query(`
+		SELECT name, capital, population
+		FROM country
+		WHERE population > 50
+		ORDER BY population DESC
+		LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(llmsql.FormatResult(res.Result))
+	fmt.Printf("\nmodel cost: %d calls, %d tokens, simulated %v ($%.4f)\n",
+		res.Usage.Calls, res.Usage.TotalTokens(), res.Usage.SimLatency.Round(1e6), res.Usage.SimDollars)
+	for _, s := range res.Scans {
+		fmt.Printf("scan %s: %d prompts over %d rounds, %d rows (%d duplicates removed, %d parse repairs)\n",
+			s.Table, s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
+	}
+}

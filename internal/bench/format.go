@@ -1,0 +1,110 @@
+// Package bench implements the experiment harness: one runner per table and
+// figure of the (reconstructed) evaluation. Each runner builds worlds,
+// engines and baselines, executes the workload, scores it with
+// internal/metrics, and renders a paper-style table plus, for figures, a
+// CSV series. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for recorded outputs.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates aligned text output.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.headers) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (for figure series).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Report is one experiment's output.
+type Report struct {
+	// ID is the table/figure identifier ("Table 2", "Figure 4").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Body is the formatted result table.
+	Body string
+	// CSV is the machine-readable series (figures only; may be empty).
+	CSV string
+}
+
+// String renders the report for terminals and EXPERIMENTS.md.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	b.WriteString(r.Body)
+	if r.CSV != "" {
+		b.WriteString("\nCSV series:\n")
+		b.WriteString(r.CSV)
+	}
+	return b.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+func d(n int) string       { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"llmsql/internal/core"
+	"llmsql/internal/exec"
+	"llmsql/internal/llm"
+	"llmsql/internal/metrics"
+	"llmsql/internal/plan"
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+	"llmsql/internal/storage"
+	"llmsql/internal/world"
+)
+
+// Options scales and seeds the experiment suite.
+type Options struct {
+	// Seed drives world generation and model identity.
+	Seed int64
+	// Scale multiplies workload sizes; 1.0 is the paper-style run, tests
+	// use smaller values. Values below 0.05 are clamped.
+	Scale float64
+}
+
+// DefaultOptions is the paper-style configuration.
+func DefaultOptions() Options { return Options{Seed: 2024, Scale: 1.0} }
+
+func (o Options) normalize() Options {
+	if o.Scale < 0.05 {
+		o.Scale = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 2024
+	}
+	return o
+}
+
+// scaled returns max(lo, round(n*Scale)).
+func (o Options) scaled(n, lo int) int {
+	v := int(float64(n) * o.Scale)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// buildWorld generates the evaluation world at the configured scale.
+func (o Options) buildWorld() *world.World {
+	return world.Generate(world.Config{
+		Seed:      o.Seed,
+		Countries: o.scaled(180, 20),
+		Movies:    o.scaled(400, 30),
+		Laureates: o.scaled(250, 20),
+		Companies: o.scaled(300, 20),
+	})
+}
+
+// newEngine wires a fresh engine over a fresh SynthLM for the world.
+func newEngine(w *world.World, profile llm.NoiseProfile, cfg core.Config, seed int64) *core.Engine {
+	model := llm.NewSynthLM(w, profile, seed)
+	e := core.New(model, cfg)
+	for _, name := range w.DomainNames() {
+		e.RegisterWorldDomain(w.Domain(name))
+	}
+	return e
+}
+
+// baseline runs the query on the ground-truth row store, returning rows
+// and wall-clock time.
+func baseline(db *storage.DB, query string) (*exec.Result, time.Duration, error) {
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	node, err := plan.Plan(sel, &exec.StorageCatalog{DB: db})
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res, err := exec.Execute(node, &exec.StorageSource{DB: db})
+	return res, time.Since(start), err
+}
+
+// scoreAgainstBaseline runs query on both engines and compares the result
+// sets key-wise on the first output column.
+func scoreAgainstBaseline(e *core.Engine, db *storage.DB, query string, opt metrics.Options) (metrics.SetMetrics, llm.Usage, error) {
+	truth, _, err := baseline(db, query)
+	if err != nil {
+		return metrics.SetMetrics{}, llm.Usage{}, fmt.Errorf("baseline %q: %w", query, err)
+	}
+	got, err := e.Query(query)
+	if err != nil {
+		return metrics.SetMetrics{}, llm.Usage{}, fmt.Errorf("llm %q: %w", query, err)
+	}
+	return metrics.Compare(got.Result.Rows, truth.Rows, opt), got.Usage, nil
+}
+
+// scalarAnswer extracts the single value of a one-row one-column result.
+func scalarAnswer(res *exec.Result) rel.Value {
+	if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+		return rel.Null()
+	}
+	return res.Rows[0][0]
+}
+
+// attrTolerance is the relative numeric tolerance used when scoring
+// attribute cells: small perturbations from the model's value noise below
+// this threshold count as correct, mirroring the paper's "approximately
+// correct" judgement for numeric facts.
+const attrTolerance = 0.02

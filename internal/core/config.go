@@ -1,0 +1,121 @@
+// Package core implements the paper's primary contribution: a SQL query
+// engine whose storage layer is a large language model. Virtual tables are
+// declared with schemas and natural-language descriptions; scans are
+// answered by prompting the model for tuples, parsing completions back into
+// typed rows, deduplicating, optionally voting for self-consistency, and
+// re-checking every pushed-down predicate — the model is treated as an
+// untrusted index. Joins, aggregation and ordering run on the shared
+// executor (internal/exec).
+package core
+
+// Strategy selects how a table scan is decomposed into prompts.
+type Strategy int
+
+const (
+	// StrategyFullTable issues one LIST prompt asking for every row with
+	// all needed columns (repeated across sampling rounds at temperature
+	// > 0, unioning results).
+	StrategyFullTable Strategy = iota
+	// StrategyKeyThenAttr first enumerates entity keys (KEYS prompts),
+	// then issues one small ATTR prompt per key and needed column —
+	// the Galois-style decomposition. Self-consistency voting applies to
+	// the ATTR calls.
+	StrategyKeyThenAttr
+	// StrategyPaged issues LIST prompts with MAXROWS pages and EXCLUDE
+	// continuation until the model reports no further rows.
+	StrategyPaged
+)
+
+// String names the strategy for reports.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyKeyThenAttr:
+		return "key-then-attr"
+	case StrategyPaged:
+		return "paged"
+	default:
+		return "full-table"
+	}
+}
+
+// Config tunes the engine. The zero value is NOT usable; call
+// DefaultConfig.
+type Config struct {
+	// Strategy picks the prompt decomposition.
+	Strategy Strategy
+	// Temperature for sampling; 0 is deterministic (a single round).
+	Temperature float64
+	// MaxRounds bounds repeated sampling of enumeration prompts.
+	MaxRounds int
+	// StableRounds stops sampling after this many consecutive rounds
+	// that contribute no new entity (the convergence rule).
+	StableRounds int
+	// Votes is the self-consistency factor for attribute retrieval
+	// (KeyThenAttr): each attribute is asked Votes times and the majority
+	// value wins. 1 disables voting.
+	Votes int
+	// PageSize is MAXROWS per prompt for StrategyPaged.
+	PageSize int
+	// Pushdown verbalises pushed filters into prompts when true; the
+	// executor re-checks them either way.
+	Pushdown bool
+	// Tolerant enables the repairing completion parser; when false only
+	// perfectly formatted rows are accepted (ablation).
+	Tolerant bool
+	// Dedup removes duplicate entities from scan output (ablation).
+	Dedup bool
+	// MaxCompletionTokens bounds each completion (0 = model default).
+	MaxCompletionTokens int
+	// MinConfidence drops entities that appear in fewer than this fraction
+	// of sampling rounds (hallucinations tend to be one-off while real
+	// entities recur). 0 disables the filter; it only applies when more
+	// than one round actually ran. Extension feature, swept in Table 8.
+	MinConfidence float64
+	// Seed offsets sampling seeds so experiments can decorrelate runs.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the paper-style runs:
+// full-table strategy, temperature 0.7, up to 8 rounds with a 2-round
+// convergence rule, no voting, pushdown and all robustness features on.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:            StrategyFullTable,
+		Temperature:         0.7,
+		MaxRounds:           8,
+		StableRounds:        2,
+		Votes:               1,
+		PageSize:            40,
+		Pushdown:            true,
+		Tolerant:            true,
+		Dedup:               true,
+		MaxCompletionTokens: 0,
+		Seed:                0,
+	}
+}
+
+// normalize clamps nonsense values so a partially filled Config behaves.
+func (c Config) normalize() Config {
+	if c.MaxRounds < 1 {
+		c.MaxRounds = 1
+	}
+	if c.StableRounds < 1 {
+		c.StableRounds = 1
+	}
+	if c.Votes < 1 {
+		c.Votes = 1
+	}
+	if c.PageSize < 1 {
+		c.PageSize = 40
+	}
+	if c.Temperature < 0 {
+		c.Temperature = 0
+	}
+	if c.MinConfidence < 0 {
+		c.MinConfidence = 0
+	}
+	if c.MinConfidence > 1 {
+		c.MinConfidence = 1
+	}
+	return c
+}

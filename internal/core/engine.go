@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"llmsql/internal/exec"
+	"llmsql/internal/expr"
+	"llmsql/internal/llm"
+	"llmsql/internal/plan"
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+	"llmsql/internal/storage"
+	"llmsql/internal/world"
+)
+
+// Engine is the user-facing facade: SQL in, typed rows plus a cost report
+// out. Virtual (LLM-backed) tables and local row-store tables can be mixed
+// freely in one query (hybrid execution).
+type Engine struct {
+	store *LLMStore
+	model *llm.CountingModel
+	local *storage.DB // optional
+}
+
+// New builds an engine over the model with the given configuration.
+func New(model llm.Model, cfg Config) *Engine {
+	counting := llm.NewCounting(model)
+	return &Engine{
+		store: NewLLMStore(counting, cfg),
+		model: counting,
+	}
+}
+
+// CostModel replaces the simulated cost constants.
+func (e *Engine) CostModel(c llm.CostModel) { e.model.Cost = c }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.store.Config() }
+
+// RegisterTable declares a virtual LLM-backed table.
+func (e *Engine) RegisterTable(t VirtualTable) { e.store.Register(t) }
+
+// RegisterWorldDomain declares a virtual table mirroring a synthetic-world
+// domain's schema and descriptions (the usual setup for experiments).
+func (e *Engine) RegisterWorldDomain(d *world.Domain) {
+	e.store.Register(VirtualTable{
+		Name:        d.Name,
+		Description: d.Description,
+		Schema:      d.Schema,
+	})
+}
+
+// AttachLocal registers a row-store database whose tables can be joined
+// with virtual tables. Virtual tables shadow local ones of the same name.
+func (e *Engine) AttachLocal(db *storage.DB) { e.local = db }
+
+// QueryResult bundles the rows with the execution report.
+type QueryResult struct {
+	// Result holds the output schema and rows.
+	Result *exec.Result
+	// Usage is the model consumption attributable to this query.
+	Usage llm.Usage
+	// Scans reports per-virtual-table retrieval statistics.
+	Scans []ScanStats
+	// Plan is the executed plan, rendered.
+	Plan string
+}
+
+// Query parses, plans and executes a SELECT statement.
+func (e *Engine) Query(query string) (*QueryResult, error) {
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		return nil, err
+	}
+	node, err := plan.Plan(sel, e.catalog())
+	if err != nil {
+		return nil, err
+	}
+	before := e.model.Usage()
+	e.store.TakeStats() // clear any stale stats
+	res, err := exec.Execute(node, e.source())
+	if err != nil {
+		return nil, err
+	}
+	after := e.model.Usage()
+	usage := llm.Usage{
+		Calls:            after.Calls - before.Calls,
+		PromptTokens:     after.PromptTokens - before.PromptTokens,
+		CompletionTokens: after.CompletionTokens - before.CompletionTokens,
+		SimLatency:       after.SimLatency - before.SimLatency,
+		SimDollars:       after.SimDollars - before.SimDollars,
+	}
+	return &QueryResult{
+		Result: res,
+		Usage:  usage,
+		Scans:  e.store.TakeStats(),
+		Plan:   plan.Explain(node),
+	}, nil
+}
+
+// Exec runs a DDL/DML statement (CREATE TABLE, INSERT) against the local
+// row store, creating one automatically on first use. Virtual tables cannot
+// be created or written this way — the model is read-only storage.
+func (e *Engine) Exec(statement string) error {
+	stmt, err := sql.Parse(statement)
+	if err != nil {
+		return err
+	}
+	switch st := stmt.(type) {
+	case *sql.CreateTableStmt:
+		if e.store.Has(st.Name) {
+			return fmt.Errorf("core: %q is a virtual table; local CREATE would be shadowed", st.Name)
+		}
+		if e.local == nil {
+			e.local = storage.NewDB()
+		}
+		cols := make([]rel.Column, len(st.Columns))
+		for i, c := range st.Columns {
+			cols[i] = rel.Column{Name: c.Name, Type: c.Type, Key: c.PrimaryKey}
+		}
+		_, err := e.local.CreateTable(st.Name, rel.NewSchema(cols...))
+		return err
+
+	case *sql.InsertStmt:
+		if e.store.Has(st.Table) {
+			return fmt.Errorf("core: cannot INSERT into virtual table %q (the model is read-only)", st.Table)
+		}
+		if e.local == nil {
+			return fmt.Errorf("core: unknown table %q", st.Table)
+		}
+		tbl, err := e.local.Table(st.Table)
+		if err != nil {
+			return err
+		}
+		return insertRows(tbl, st)
+
+	case *sql.SelectStmt:
+		return fmt.Errorf("core: use Query for SELECT statements")
+	default:
+		return fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+// insertRows evaluates the literal rows of an INSERT and stores them,
+// honouring an optional column list (missing columns become NULL).
+func insertRows(tbl *storage.Table, st *sql.InsertStmt) error {
+	schema := tbl.Schema()
+	// Map insert position -> schema position.
+	target := make([]int, 0, schema.Len())
+	if len(st.Columns) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			target = append(target, i)
+		}
+	} else {
+		for _, name := range st.Columns {
+			idx := schema.IndexOf(name)
+			if idx < 0 {
+				return fmt.Errorf("core: table %s has no column %q", tbl.Name(), name)
+			}
+			target = append(target, idx)
+		}
+	}
+	for rowIdx, exprs := range st.Rows {
+		if len(exprs) != len(target) {
+			return fmt.Errorf("core: row %d has %d values, want %d", rowIdx+1, len(exprs), len(target))
+		}
+		row := make(rel.Row, schema.Len())
+		for i := range row {
+			row[i] = rel.NullOf(schema.Col(i).Type)
+		}
+		for i, ex := range exprs {
+			c, err := expr.Compile(ex, rel.Schema{})
+			if err != nil {
+				return fmt.Errorf("core: row %d value %d: %v", rowIdx+1, i+1, err)
+			}
+			v, err := c.Eval(nil)
+			if err != nil {
+				return fmt.Errorf("core: row %d value %d: %v", rowIdx+1, i+1, err)
+			}
+			row[target[i]] = v
+		}
+		if err := tbl.Insert(row); err != nil {
+			return fmt.Errorf("core: row %d: %v", rowIdx+1, err)
+		}
+	}
+	return nil
+}
+
+// QueryAnalyze executes the query and returns the result plus the plan
+// annotated with per-operator row counts (EXPLAIN ANALYZE).
+func (e *Engine) QueryAnalyze(query string) (*QueryResult, string, error) {
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		return nil, "", err
+	}
+	node, err := plan.Plan(sel, e.catalog())
+	if err != nil {
+		return nil, "", err
+	}
+	before := e.model.Usage()
+	e.store.TakeStats()
+	res, prof, err := exec.ExecuteAnalyzed(node, e.source())
+	if err != nil {
+		return nil, "", err
+	}
+	after := e.model.Usage()
+	qr := &QueryResult{
+		Result: res,
+		Usage: llm.Usage{
+			Calls:            after.Calls - before.Calls,
+			PromptTokens:     after.PromptTokens - before.PromptTokens,
+			CompletionTokens: after.CompletionTokens - before.CompletionTokens,
+			SimLatency:       after.SimLatency - before.SimLatency,
+			SimDollars:       after.SimDollars - before.SimDollars,
+		},
+		Scans: e.store.TakeStats(),
+		Plan:  plan.Explain(node),
+	}
+	return qr, plan.ExplainWithRows(node, prof.Rows), nil
+}
+
+// Explain plans the query and renders the plan without executing it.
+func (e *Engine) Explain(query string) (string, error) {
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		return "", err
+	}
+	node, err := plan.Plan(sel, e.catalog())
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(node), nil
+}
+
+// TotalUsage returns the model consumption since engine creation.
+func (e *Engine) TotalUsage() llm.Usage { return e.model.Usage() }
+
+// catalog resolves virtual tables first, then local ones.
+func (e *Engine) catalog() plan.Catalog {
+	cats := plan.MultiCatalog{e.store}
+	if e.local != nil {
+		cats = append(cats, &exec.StorageCatalog{DB: e.local})
+	}
+	return cats
+}
+
+// source routes scans to the LLM store or the local row store.
+func (e *Engine) source() exec.Source {
+	return &routingSource{engine: e}
+}
+
+type routingSource struct {
+	engine *Engine
+}
+
+// Scan implements exec.Source.
+func (r *routingSource) Scan(req exec.ScanRequest) (exec.RowIter, error) {
+	if r.engine.store.Has(req.Table) {
+		return r.engine.store.Scan(req)
+	}
+	if r.engine.local != nil && r.engine.local.HasTable(req.Table) {
+		src := &exec.StorageSource{DB: r.engine.local}
+		return src.Scan(req)
+	}
+	return nil, fmt.Errorf("core: no source for table %q", req.Table)
+}
+
+// FormatResult renders a result as an aligned text table (for CLIs and
+// examples).
+func FormatResult(res *exec.Result) string {
+	names := res.Schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(f)
+			for p := len(f); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	sep := make([]string, len(names))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(res.Rows))
+	return b.String()
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"strings"
+
+	"llmsql/internal/rel"
+)
+
+// ParseStats counts what the tolerant parser had to do, for ablation and
+// per-query reports.
+type ParseStats struct {
+	// LinesSeen counts non-empty completion lines.
+	LinesSeen int
+	// RowsParsed counts lines accepted as rows.
+	RowsParsed int
+	// RowsDropped counts lines rejected entirely.
+	RowsDropped int
+	// Repairs counts individual fixes (stripped bullets, padded fields,
+	// rescued numerics, comma fallbacks, ...).
+	Repairs int
+}
+
+// Add merges another stats value.
+func (s *ParseStats) Add(o ParseStats) {
+	s.LinesSeen += o.LinesSeen
+	s.RowsParsed += o.RowsParsed
+	s.RowsDropped += o.RowsDropped
+	s.Repairs += o.Repairs
+}
+
+// parseListCompletion parses a LIST/KEYS completion into rows over the full
+// table schema: fields arrive in the order of cols (positions into the
+// schema); all other columns become typed NULLs. keyPos is the schema
+// position of the entity key; rows with a NULL key are dropped.
+//
+// tolerant enables the repair heuristics; when false, only lines with the
+// exact field count and cleanly parsing values are accepted.
+func parseListCompletion(text string, schema rel.Schema, cols []int, keyPos int, tolerant bool) ([]rel.Row, ParseStats) {
+	var stats ParseStats
+	var rows []rel.Row
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		stats.LinesSeen++
+		fields, repairs, ok := splitRowLine(line, len(cols), tolerant)
+		if !ok {
+			stats.RowsDropped++
+			continue
+		}
+		stats.Repairs += repairs
+
+		row := make(rel.Row, schema.Len())
+		for i := range row {
+			row[i] = rel.NullOf(schema.Col(i).Type)
+		}
+		bad := false
+		for i, c := range cols {
+			if i >= len(fields) {
+				if !tolerant {
+					bad = true
+					break
+				}
+				stats.Repairs++ // padded missing field with NULL
+				continue
+			}
+			v, rescued, err := parseField(fields[i], schema.Col(c).Type, tolerant)
+			if err != nil {
+				if !tolerant {
+					bad = true
+					break
+				}
+				stats.Repairs++ // unparseable value becomes NULL
+				continue
+			}
+			if rescued {
+				stats.Repairs++
+			}
+			row[c] = v
+		}
+		if bad || row[keyPos].IsNull() || strings.TrimSpace(row[keyPos].AsText()) == "" {
+			stats.RowsDropped++
+			continue
+		}
+		rows = append(rows, row)
+		stats.RowsParsed++
+	}
+	return rows, stats
+}
+
+// splitRowLine turns a completion line into fields. It reports the number
+// of repairs applied and whether the line is usable at all.
+func splitRowLine(line string, wantFields int, tolerant bool) ([]string, int, bool) {
+	repairs := 0
+	if tolerant {
+		// Strip decoration the model sometimes adds.
+		for _, prefix := range []string{"- ", "* ", "Row: ", "row: "} {
+			if strings.HasPrefix(line, prefix) {
+				line = strings.TrimPrefix(line, prefix)
+				repairs++
+				break
+			}
+		}
+		// Trailing period after a pipe row ("Row: a | b.").
+		if strings.HasSuffix(line, ".") && strings.Contains(line, "|") {
+			line = strings.TrimSuffix(line, ".")
+		}
+	}
+	if strings.Contains(line, "|") {
+		parts := strings.Split(line, "|")
+		fields := make([]string, len(parts))
+		for i, p := range parts {
+			fields[i] = strings.TrimSpace(p)
+		}
+		if !tolerant && len(fields) != wantFields {
+			return nil, 0, false
+		}
+		if len(fields) > wantFields {
+			fields = fields[:wantFields]
+			repairs++
+		}
+		if len(fields) < wantFields {
+			repairs++ // will be padded by the caller
+		}
+		return fields, repairs, true
+	}
+	// No pipe separator.
+	if wantFields == 1 {
+		// A single-column answer; prose lines are filtered by heuristics:
+		// skip obvious commentary (trailing colon, parenthesised notes).
+		if looksLikeProse(line) {
+			return nil, 0, false
+		}
+		return []string{strings.TrimSuffix(line, ".")}, repairs, true
+	}
+	if !tolerant {
+		return nil, 0, false
+	}
+	// Comma fallback for rows emitted with the wrong separator.
+	if strings.Count(line, ",") >= wantFields-1 {
+		parts := strings.SplitN(line, ",", wantFields)
+		fields := make([]string, len(parts))
+		for i, p := range parts {
+			fields[i] = strings.TrimSpace(p)
+		}
+		return fields, repairs + 1, true
+	}
+	return nil, 0, false
+}
+
+// looksLikeProse detects preamble/closing lines such as "Here are the rows:"
+// or "(end of list)".
+func looksLikeProse(line string) bool {
+	if strings.HasSuffix(line, ":") {
+		return true
+	}
+	if strings.HasPrefix(line, "(") && strings.HasSuffix(line, ")") {
+		return true
+	}
+	lower := strings.ToLower(line)
+	for _, marker := range []string{"here are", "no further", "i do not", "i don't", "end of list", "i'm not sure", "as requested"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseField parses one field into the column type. rescued reports that a
+// lenient extraction was needed (a repair).
+func parseField(field string, t rel.DataType, tolerant bool) (rel.Value, bool, error) {
+	v, err := rel.ParseTyped(field, t)
+	if err == nil {
+		return v, false, nil
+	}
+	if !tolerant {
+		return rel.Value{}, false, err
+	}
+	if t.Numeric() {
+		if num, ok := extractNumber(field); ok {
+			v, err := rel.ParseTyped(num, t)
+			if err == nil {
+				return v, true, nil
+			}
+		}
+	}
+	return rel.Value{}, false, err
+}
+
+// extractNumber pulls the first numeric substring out of chatty values like
+// "about 68 million" or "≈1,408 (2021 estimate)".
+func extractNumber(s string) (string, bool) {
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		isNumChar := (c >= '0' && c <= '9') || c == '.' || c == ','
+		if start < 0 {
+			if c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' {
+				start = i
+			} else if c >= '0' && c <= '9' {
+				start = i
+			}
+			continue
+		}
+		if !isNumChar {
+			return strings.Trim(s[start:i], ".,"), true
+		}
+	}
+	if start >= 0 {
+		return strings.Trim(s[start:], ".,"), true
+	}
+	return "", false
+}
+
+// parseAttrCompletion extracts a single value from an ATTR completion,
+// handling the phrasings the model uses ("Paris", "Paris.",
+// "The capital of France is Paris.", "capital: Paris", "I'm not sure.").
+func parseAttrCompletion(text string, t rel.DataType, tolerant bool) (rel.Value, bool) {
+	line := strings.TrimSpace(text)
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	if line == "" {
+		return rel.NullOf(t), false
+	}
+	lower := strings.ToLower(line)
+	for _, refusal := range []string{"i'm not sure", "i am not sure", "i do not know", "i don't know", "unknown"} {
+		if strings.Contains(lower, refusal) {
+			return rel.NullOf(t), false
+		}
+	}
+	// "The X of Y is VALUE."
+	if idx := strings.LastIndex(lower, " is "); idx >= 0 && tolerant {
+		candidate := strings.TrimSpace(line[idx+4:])
+		candidate = strings.TrimSuffix(candidate, ".")
+		if v, err := rel.ParseTyped(candidate, t); err == nil && !v.IsNull() {
+			return v, true
+		}
+		if t.Numeric() {
+			if num, ok := extractNumber(candidate); ok {
+				if v, err := rel.ParseTyped(num, t); err == nil {
+					return v, true
+				}
+			}
+		}
+	}
+	// "column: VALUE"
+	if idx := strings.Index(line, ":"); idx >= 0 && tolerant {
+		candidate := strings.TrimSpace(line[idx+1:])
+		candidate = strings.TrimSuffix(candidate, ".")
+		if v, err := rel.ParseTyped(candidate, t); err == nil && !v.IsNull() {
+			return v, true
+		}
+	}
+	// Bare value, maybe with trailing period.
+	candidate := strings.TrimSuffix(line, ".")
+	if v, err := rel.ParseTyped(candidate, t); err == nil && !v.IsNull() {
+		return v, true
+	}
+	if tolerant && t.Numeric() {
+		if num, ok := extractNumber(line); ok {
+			if v, err := rel.ParseTyped(num, t); err == nil {
+				return v, true
+			}
+		}
+	}
+	if t == rel.TypeText {
+		return rel.Text(candidate), true
+	}
+	return rel.NullOf(t), false
+}

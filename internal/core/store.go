@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"llmsql/internal/exec"
+	"llmsql/internal/llm"
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+// ScanStats reports what one LLM-backed scan did.
+type ScanStats struct {
+	// Table is the scanned virtual table.
+	Table string
+	// Strategy used.
+	Strategy Strategy
+	// Prompts issued.
+	Prompts int
+	// Rounds of enumeration sampling actually run.
+	Rounds int
+	// Rows emitted to the executor.
+	RowsEmitted int
+	// Duplicates removed by entity-key dedup.
+	Duplicates int
+	// LowConfidenceDropped counts entities removed by the MinConfidence
+	// filter (seen in too few sampling rounds).
+	LowConfidenceDropped int
+	// Parse aggregates the parser counters.
+	Parse ParseStats
+}
+
+// LLMStore exposes virtual tables as an exec.Source and plan.Catalog.
+// It is safe for concurrent use.
+type LLMStore struct {
+	model llm.Model
+	cfg   Config
+
+	mu     sync.Mutex
+	tables map[string]*VirtualTable
+	stats  []ScanStats
+}
+
+// NewLLMStore builds a store over the model with the given configuration.
+func NewLLMStore(model llm.Model, cfg Config) *LLMStore {
+	return &LLMStore{
+		model:  model,
+		cfg:    cfg.normalize(),
+		tables: make(map[string]*VirtualTable),
+	}
+}
+
+// Register declares a virtual table.
+func (s *LLMStore) Register(t VirtualTable) {
+	t.Name = strings.ToLower(t.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[t.Name] = &t
+}
+
+// TableSchema implements plan.Catalog.
+func (s *LLMStore) TableSchema(name string) (rel.Schema, error) {
+	s.mu.Lock()
+	t, ok := s.tables[strings.ToLower(name)]
+	s.mu.Unlock()
+	if !ok {
+		return rel.Schema{}, fmt.Errorf("core: unknown virtual table %q", name)
+	}
+	return t.Schema, nil
+}
+
+// Has reports whether a virtual table is registered.
+func (s *LLMStore) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.tables[strings.ToLower(name)]
+	return ok
+}
+
+// TakeStats returns and clears the accumulated scan statistics.
+func (s *LLMStore) TakeStats() []ScanStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	s.stats = nil
+	return out
+}
+
+// Config returns the store configuration.
+func (s *LLMStore) Config() Config { return s.cfg }
+
+// Scan implements exec.Source: it runs the configured prompt strategy and
+// returns the retrieved rows.
+func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
+	s.mu.Lock()
+	t, ok := s.tables[strings.ToLower(req.Table)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown virtual table %q", req.Table)
+	}
+
+	scan := &llmScan{
+		store:  s,
+		table:  t,
+		schema: req.Schema,
+		cols:   neededColumns(t.Schema, req.Needed),
+		stats:  ScanStats{Table: t.Name, Strategy: s.cfg.Strategy},
+	}
+	if s.cfg.Pushdown {
+		scan.filter = stripQualifiers(req.Filter)
+	}
+
+	var rows []rel.Row
+	var err error
+	switch s.cfg.Strategy {
+	case StrategyKeyThenAttr:
+		rows, err = scan.runKeyThenAttr()
+	case StrategyPaged:
+		rows, err = scan.runPaged()
+	default:
+		rows, err = scan.runFullTable()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Dedup {
+		rows = scan.dedup(rows)
+	}
+	scan.stats.RowsEmitted = len(rows)
+
+	s.mu.Lock()
+	s.stats = append(s.stats, scan.stats)
+	s.mu.Unlock()
+	return newSliceIter(rows), nil
+}
+
+// neededColumns converts the executor's needed mask into schema positions,
+// always including the key column(s) first.
+func neededColumns(schema rel.Schema, needed []bool) []int {
+	keyIdx := schema.KeyIndexes()
+	inKey := map[int]bool{}
+	cols := make([]int, 0, schema.Len())
+	for _, k := range keyIdx {
+		cols = append(cols, k)
+		inKey[k] = true
+	}
+	for i := 0; i < schema.Len(); i++ {
+		if inKey[i] {
+			continue
+		}
+		if needed == nil || needed[i] {
+			cols = append(cols, i)
+		}
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// llmScan is the per-scan state machine.
+type llmScan struct {
+	store  *LLMStore
+	table  *VirtualTable
+	schema rel.Schema // alias-renamed schema expected by the executor
+	cols   []int
+	filter sql.Expr
+	stats  ScanStats
+}
+
+func (sc *llmScan) cfg() Config { return sc.store.cfg }
+
+func (sc *llmScan) keyPos() int { return sc.table.Schema.KeyIndexes()[0] }
+
+// complete issues one model call, counting it.
+func (sc *llmScan) complete(prompt string, seed int64) (llm.CompletionResponse, error) {
+	sc.stats.Prompts++
+	return sc.store.model.Complete(llm.CompletionRequest{
+		Prompt:      prompt,
+		MaxTokens:   sc.cfg().MaxCompletionTokens,
+		Temperature: sc.cfg().Temperature,
+		Seed:        sc.cfg().Seed + seed,
+	})
+}
+
+// runRounds repeatedly invokes fetch (one enumeration round per seed),
+// accumulating rows keyed by entity, until MaxRounds or the convergence
+// rule (StableRounds rounds without a new entity) stops it. At temperature
+// zero a single round is issued — greedy decoding cannot produce new rows —
+// unless promptVaries says each round changes the prompt (paged scans).
+func (sc *llmScan) runRounds(promptVaries bool, fetch func(seed int64) ([]rel.Row, error)) ([]rel.Row, error) {
+	maxRounds := sc.cfg().MaxRounds
+	if sc.cfg().Temperature <= 0 && !promptVaries {
+		maxRounds = 1
+	}
+	seenKeys := map[string]bool{}
+	appearances := map[string]int{} // rounds in which each entity appeared
+	dedup := sc.cfg().Dedup
+	var out []rel.Row
+	stable := 0
+	for round := 0; round < maxRounds; round++ {
+		sc.stats.Rounds++
+		rows, err := fetch(int64(round))
+		if err != nil {
+			return nil, err
+		}
+		newThisRound := 0
+		seenThisRound := map[string]bool{}
+		for _, row := range rows {
+			key := entityKey(row, sc.keyPos())
+			if !seenThisRound[key] {
+				seenThisRound[key] = true
+				appearances[key]++
+			}
+			if seenKeys[key] {
+				// Convergence always tracks entity novelty, but only the
+				// dedup feature (ablated in Table 7) suppresses the
+				// duplicate row itself.
+				if dedup {
+					sc.stats.Duplicates++
+					continue
+				}
+				out = append(out, row)
+				continue
+			}
+			seenKeys[key] = true
+			out = append(out, row)
+			newThisRound++
+		}
+		if newThisRound == 0 {
+			stable++
+			if stable >= sc.cfg().StableRounds {
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	out = sc.filterByConfidence(out, appearances)
+	return out, nil
+}
+
+// filterByConfidence drops entities whose appearance frequency across the
+// sampling rounds falls below Config.MinConfidence. Hallucinated rows tend
+// to be one-off samples while real entities recur, so the filter trades a
+// little recall for precision (swept in Table 8).
+func (sc *llmScan) filterByConfidence(rows []rel.Row, appearances map[string]int) []rel.Row {
+	minConf := sc.cfg().MinConfidence
+	rounds := sc.stats.Rounds
+	if minConf <= 0 || rounds <= 1 {
+		return rows
+	}
+	// Paged scans exclude previously seen keys, so every entity appears in
+	// exactly one round by construction — frequency is meaningless there.
+	if sc.cfg().Strategy == StrategyPaged {
+		return rows
+	}
+	keyPos := sc.keyPos()
+	kept := rows[:0]
+	for _, row := range rows {
+		conf := float64(appearances[entityKey(row, keyPos)]) / float64(rounds)
+		if conf+1e-9 < minConf {
+			sc.stats.LowConfidenceDropped++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	return kept
+}
+
+func entityKey(row rel.Row, keyPos int) string {
+	return strings.ToLower(strings.TrimSpace(row[keyPos].AsText()))
+}
+
+// ---- strategies ----
+
+func (sc *llmScan) runFullTable() ([]rel.Row, error) {
+	prompt := buildListPrompt(sc.table, sc.cols, sc.filter, nil, 0)
+	return sc.runRounds(false, func(seed int64) ([]rel.Row, error) {
+		resp, err := sc.complete(prompt, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows, stats := parseListCompletion(resp.Text, sc.table.Schema, sc.cols, sc.keyPos(), sc.cfg().Tolerant)
+		sc.stats.Parse.Add(stats)
+		return rows, nil
+	})
+}
+
+func (sc *llmScan) runPaged() ([]rel.Row, error) {
+	// Paged enumeration: each page excludes everything already seen; the
+	// rounds machinery handles convergence across pages.
+	var exclude []string
+	excludeSet := map[string]bool{}
+	return sc.runRounds(true, func(seed int64) ([]rel.Row, error) {
+		prompt := buildListPrompt(sc.table, sc.cols, sc.filter, exclude, sc.cfg().PageSize)
+		resp, err := sc.complete(prompt, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows, stats := parseListCompletion(resp.Text, sc.table.Schema, sc.cols, sc.keyPos(), sc.cfg().Tolerant)
+		sc.stats.Parse.Add(stats)
+		for _, row := range rows {
+			key := entityKey(row, sc.keyPos())
+			if !excludeSet[key] {
+				excludeSet[key] = true
+				exclude = append(exclude, strings.TrimSpace(row[sc.keyPos()].AsText()))
+			}
+		}
+		return rows, nil
+	})
+}
+
+func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
+	// Phase 1: enumerate keys (pushing down only filters the key column
+	// alone can decide).
+	keyPos := sc.keyPos()
+	keyFilter := sc.filter
+	if keyFilter != nil && !filterUsesOnly(keyFilter, sc.table.Schema.Col(keyPos).Name) {
+		keyFilter = nil
+	}
+	keyPrompt := buildKeysPrompt(sc.table, keyFilter, nil, 0)
+	keyRows, err := sc.runRounds(false, func(seed int64) ([]rel.Row, error) {
+		resp, err := sc.complete(keyPrompt, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows, stats := parseListCompletion(resp.Text, sc.table.Schema, []int{keyPos}, keyPos, sc.cfg().Tolerant)
+		sc.stats.Parse.Add(stats)
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: one ATTR prompt per key and needed non-key column, with
+	// self-consistency voting.
+	out := make([]rel.Row, 0, len(keyRows))
+	for _, keyRow := range keyRows {
+		key := strings.TrimSpace(keyRow[keyPos].AsText())
+		row := make(rel.Row, sc.table.Schema.Len())
+		for i := range row {
+			row[i] = rel.NullOf(sc.table.Schema.Col(i).Type)
+		}
+		row[keyPos] = keyRow[keyPos]
+		for _, c := range sc.cols {
+			if c == keyPos {
+				continue
+			}
+			v, err := sc.fetchAttr(key, c)
+			if err != nil {
+				return nil, err
+			}
+			row[c] = v
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// fetchAttr retrieves one attribute with Votes-way self-consistency: the
+// value observed most often wins; ties break toward the earliest seed.
+func (sc *llmScan) fetchAttr(key string, col int) (rel.Value, error) {
+	t := sc.table.Schema.Col(col).Type
+	prompt := buildAttrPrompt(sc.table, key, col)
+	votes := sc.cfg().Votes
+	counts := map[string]int{}
+	values := map[string]rel.Value{}
+	var order []string
+	for v := 0; v < votes; v++ {
+		resp, err := sc.complete(prompt, int64(1000+v))
+		if err != nil {
+			return rel.Value{}, err
+		}
+		val, ok := parseAttrCompletion(resp.Text, t, sc.cfg().Tolerant)
+		if !ok {
+			continue
+		}
+		k := (rel.Row{val}).AllKey()
+		if _, seen := counts[k]; !seen {
+			values[k] = val
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	best := ""
+	bestN := 0
+	for _, k := range order {
+		if counts[k] > bestN {
+			best, bestN = k, counts[k]
+		}
+	}
+	if bestN == 0 {
+		return rel.NullOf(t), nil
+	}
+	return values[best], nil
+}
+
+// filterUsesOnly reports whether every column reference in e is the named
+// column.
+func filterUsesOnly(e sql.Expr, column string) bool {
+	for _, ref := range sql.ColumnRefs(e) {
+		if !strings.EqualFold(ref.Name, column) {
+			return false
+		}
+	}
+	return true
+}
+
+// dedup keeps the first row per entity key.
+func (sc *llmScan) dedup(rows []rel.Row) []rel.Row {
+	seen := map[string]bool{}
+	out := rows[:0]
+	keyPos := sc.keyPos()
+	for _, row := range rows {
+		key := entityKey(row, keyPos)
+		if seen[key] {
+			sc.stats.Duplicates++
+			continue
+		}
+		seen[key] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// sliceIter adapts materialized rows to exec.RowIter.
+type sliceIter struct {
+	rows []rel.Row
+	pos  int
+}
+
+func newSliceIter(rows []rel.Row) *sliceIter { return &sliceIter{rows: rows} }
+
+// Next implements exec.RowIter.
+func (s *sliceIter) Next() (rel.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements exec.RowIter.
+func (s *sliceIter) Close() error { return nil }

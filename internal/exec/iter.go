@@ -1,0 +1,91 @@
+// Package exec executes logical plans (internal/plan) against pluggable
+// table sources. The same operators serve the classical row store and the
+// LLM-storage engine; only the Source implementation differs.
+package exec
+
+import (
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+// RowIter is a forward-only row stream.
+type RowIter interface {
+	// Next returns the next row. ok=false signals exhaustion; err aborts.
+	Next() (row rel.Row, ok bool, err error)
+	// Close releases resources. It is safe to call multiple times.
+	Close() error
+}
+
+// ScanRequest describes a base-table access. The Filter and Needed fields
+// are advisory pushdowns: a source may use them to reduce work (the LLM
+// source rewrites them into the prompt) but the executor re-applies the
+// filter on every returned row, treating sources as untrusted.
+type ScanRequest struct {
+	// Table is the catalog table name.
+	Table string
+	// Alias is the binding name in the query.
+	Alias string
+	// Schema is the expected output schema (alias-qualified).
+	Schema rel.Schema
+	// Needed marks consumed columns; nil means all. Sources may return
+	// NULL for unneeded columns.
+	Needed []bool
+	// Filter is a predicate over Schema, or nil.
+	Filter sql.Expr
+}
+
+// Source provides table access for scans.
+type Source interface {
+	// Scan opens a row stream for the request.
+	Scan(req ScanRequest) (RowIter, error)
+}
+
+// sliceIter iterates a materialized row slice.
+type sliceIter struct {
+	rows []rel.Row
+	pos  int
+}
+
+func newSliceIter(rows []rel.Row) *sliceIter { return &sliceIter{rows: rows} }
+
+func (s *sliceIter) Next() (rel.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// Drain reads every row from it, closing it afterwards.
+func Drain(it RowIter) ([]rel.Row, error) {
+	defer it.Close()
+	var out []rel.Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// funcIter adapts a closure to RowIter.
+type funcIter struct {
+	next  func() (rel.Row, bool, error)
+	close func() error
+}
+
+func (f *funcIter) Next() (rel.Row, bool, error) { return f.next() }
+
+func (f *funcIter) Close() error {
+	if f.close != nil {
+		return f.close()
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"fmt"
+
+	"llmsql/internal/expr"
+	"llmsql/internal/plan"
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+func (b *builder) buildJoin(n *plan.JoinNode) (RowIter, error) {
+	if len(n.LeftKey) > 0 {
+		return b.buildHashJoin(n)
+	}
+	switch n.Kind {
+	case plan.KindSemi, plan.KindAnti:
+		return nil, fmt.Errorf("exec: %s requires hash keys", n.Kind)
+	default:
+		return b.buildNestedLoopJoin(n)
+	}
+}
+
+// keyEvaluators compiles the key expressions over a schema.
+func keyEvaluators(keys []sql.Expr, schema rel.Schema) ([]*expr.Compiled, error) {
+	out := make([]*expr.Compiled, len(keys))
+	for i, k := range keys {
+		c, err := expr.Compile(k, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// evalKey computes the composite hash key for a row; ok=false when any key
+// component is NULL (NULL never equi-joins).
+func evalKey(evals []*expr.Compiled, row rel.Row) (string, bool, error) {
+	vals := make(rel.Row, len(evals))
+	for i, e := range evals {
+		v, err := e.Eval(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", false, nil
+		}
+		vals[i] = v
+	}
+	return vals.AllKey(), true, nil
+}
+
+func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
+	leftSchema := n.Left.Schema()
+	rightSchema := n.Right.Schema()
+
+	leftEvals, err := keyEvaluators(n.LeftKey, leftSchema)
+	if err != nil {
+		return nil, fmt.Errorf("exec: left join key: %v", err)
+	}
+	rightEvals, err := keyEvaluators(n.RightKey, rightSchema)
+	if err != nil {
+		return nil, fmt.Errorf("exec: right join key: %v", err)
+	}
+
+	var residual func(rel.Row) (rel.Tristate, error)
+	if n.Residual != nil {
+		residual, err = expr.CompileBool(n.Residual, leftSchema.Concat(rightSchema))
+		if err != nil {
+			return nil, fmt.Errorf("exec: join residual: %v", err)
+		}
+	}
+
+	// Build phase: materialize and hash the right input.
+	rightIter, err := b.build(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := Drain(rightIter)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string][]rel.Row)
+	rightHasNull := false
+	for _, row := range rightRows {
+		key, ok, err := evalKey(rightEvals, row)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			rightHasNull = true
+			continue
+		}
+		table[key] = append(table[key], row)
+	}
+
+	leftIter, err := b.build(n.Left)
+	if err != nil {
+		return nil, err
+	}
+
+	nullRight := make(rel.Row, rightSchema.Len())
+	for i := range nullRight {
+		nullRight[i] = rel.NullOf(rightSchema.Col(i).Type)
+	}
+
+	// Probe state for streaming multiple matches per left row.
+	var pending []rel.Row
+
+	emitMatches := func(left rel.Row, matches []rel.Row) ([]rel.Row, error) {
+		var out []rel.Row
+		for _, right := range matches {
+			joined := left.Concat(right)
+			if residual != nil {
+				ts, err := residual(joined)
+				if err != nil {
+					return nil, err
+				}
+				if ts != rel.True {
+					continue
+				}
+			}
+			out = append(out, joined)
+		}
+		return out, nil
+	}
+
+	return &funcIter{
+		next: func() (rel.Row, bool, error) {
+			for {
+				if len(pending) > 0 {
+					row := pending[0]
+					pending = pending[1:]
+					return row, true, nil
+				}
+				left, ok, err := leftIter.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				key, keyOK, err := evalKey(leftEvals, left)
+				if err != nil {
+					return nil, false, err
+				}
+
+				switch n.Kind {
+				case plan.KindSemi:
+					if keyOK && len(table[key]) > 0 {
+						return left, true, nil
+					}
+
+				case plan.KindAnti:
+					// NOT IN semantics: an empty right side passes every
+					// row; otherwise NULL on either side suppresses.
+					if len(rightRows) == 0 {
+						return left, true, nil
+					}
+					if rightHasNull || !keyOK {
+						continue
+					}
+					if len(table[key]) == 0 {
+						return left, true, nil
+					}
+
+				case plan.KindLeft:
+					var matches []rel.Row
+					if keyOK {
+						matches, err = emitMatches(left, table[key])
+						if err != nil {
+							return nil, false, err
+						}
+					}
+					if len(matches) == 0 {
+						return left.Concat(nullRight), true, nil
+					}
+					pending = matches
+
+				default: // inner
+					if !keyOK {
+						continue
+					}
+					matches, err := emitMatches(left, table[key])
+					if err != nil {
+						return nil, false, err
+					}
+					pending = matches
+				}
+			}
+		},
+		close: leftIter.Close,
+	}, nil
+}
+
+func (b *builder) buildNestedLoopJoin(n *plan.JoinNode) (RowIter, error) {
+	leftSchema := n.Left.Schema()
+	rightSchema := n.Right.Schema()
+
+	var pred func(rel.Row) (rel.Tristate, error)
+	on := n.On
+	if n.Residual != nil {
+		on = n.Residual
+	}
+	if on != nil {
+		var err error
+		pred, err = expr.CompileBool(on, leftSchema.Concat(rightSchema))
+		if err != nil {
+			return nil, fmt.Errorf("exec: join predicate: %v", err)
+		}
+	}
+
+	rightIter, err := b.build(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := Drain(rightIter)
+	if err != nil {
+		return nil, err
+	}
+
+	leftIter, err := b.build(n.Left)
+	if err != nil {
+		return nil, err
+	}
+
+	nullRight := make(rel.Row, rightSchema.Len())
+	for i := range nullRight {
+		nullRight[i] = rel.NullOf(rightSchema.Col(i).Type)
+	}
+
+	var current rel.Row
+	ri := 0
+	matched := false
+
+	return &funcIter{
+		next: func() (rel.Row, bool, error) {
+			for {
+				if current == nil {
+					row, ok, err := leftIter.Next()
+					if err != nil || !ok {
+						return nil, false, err
+					}
+					current = row
+					ri = 0
+					matched = false
+				}
+				for ri < len(rightRows) {
+					right := rightRows[ri]
+					ri++
+					joined := current.Concat(right)
+					if pred != nil {
+						ts, err := pred(joined)
+						if err != nil {
+							return nil, false, err
+						}
+						if ts != rel.True {
+							continue
+						}
+					}
+					matched = true
+					return joined, true, nil
+				}
+				// Left row exhausted.
+				if n.Kind == plan.KindLeft && !matched {
+					out := current.Concat(nullRight)
+					current = nil
+					return out, true, nil
+				}
+				current = nil
+			}
+		},
+		close: leftIter.Close,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"fmt"
+
+	"llmsql/internal/expr"
+	"llmsql/internal/rel"
+	"llmsql/internal/storage"
+)
+
+// StorageSource adapts a storage.DB to the executor's Source interface.
+// It honours filter pushdown (evaluating the predicate during the scan) —
+// this is the "classical DBMS" execution path used as the paper's baseline.
+type StorageSource struct {
+	DB *storage.DB
+}
+
+// Scan implements Source.
+func (s *StorageSource) Scan(req ScanRequest) (RowIter, error) {
+	tbl, err := s.DB.Table(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tbl.Schema().Len() != req.Schema.Len() {
+		return nil, fmt.Errorf("exec: schema mismatch for %s", req.Table)
+	}
+	var pred func(rel.Row) (rel.Tristate, error)
+	if req.Filter != nil {
+		pred, err = expr.CompileBool(req.Filter, req.Schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	it := tbl.Scan()
+	return &funcIter{
+		next: func() (rel.Row, bool, error) {
+			for {
+				row, ok := it.Next()
+				if !ok {
+					return nil, false, nil
+				}
+				if pred != nil {
+					ts, err := pred(row)
+					if err != nil {
+						return nil, false, err
+					}
+					if ts != rel.True {
+						continue
+					}
+				}
+				return row, true, nil
+			}
+		},
+	}, nil
+}
+
+// StorageCatalog adapts a storage.DB to the planner's Catalog interface.
+type StorageCatalog struct {
+	DB *storage.DB
+}
+
+// TableSchema implements plan.Catalog.
+func (c *StorageCatalog) TableSchema(name string) (rel.Schema, error) {
+	tbl, err := c.DB.Table(name)
+	if err != nil {
+		return rel.Schema{}, err
+	}
+	return tbl.Schema(), nil
+}

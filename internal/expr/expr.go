@@ -1,0 +1,726 @@
+// Package expr compiles SQL AST expressions into evaluators over rows.
+//
+// Compilation resolves column references against a schema once, infers the
+// static result type, and returns a closure evaluated per row. Aggregate
+// function calls are rejected here; the planner extracts them before
+// compiling (see internal/plan).
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+// Compiled is an executable expression.
+type Compiled struct {
+	// Type is the statically inferred result type (TypeUnknown when the
+	// expression can yield any type, e.g. bare NULL).
+	Type rel.DataType
+	// Eval computes the expression over a row aligned with the schema the
+	// expression was compiled against.
+	Eval func(rel.Row) (rel.Value, error)
+}
+
+// Compile builds an evaluator for e against schema.
+func Compile(e sql.Expr, schema rel.Schema) (*Compiled, error) {
+	c := &compiler{schema: schema}
+	return c.compile(e)
+}
+
+// CompileBool compiles e and wraps it to yield a Tristate, as needed by
+// filters and join predicates.
+func CompileBool(e sql.Expr, schema rel.Schema) (func(rel.Row) (rel.Tristate, error), error) {
+	compiled, err := Compile(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	if compiled.Type != rel.TypeBool && compiled.Type != rel.TypeUnknown {
+		return nil, fmt.Errorf("expr: predicate has type %s, want BOOL", compiled.Type)
+	}
+	return func(r rel.Row) (rel.Tristate, error) {
+		v, err := compiled.Eval(r)
+		if err != nil {
+			return rel.Unknown, err
+		}
+		return rel.TristateOf(v), nil
+	}, nil
+}
+
+type compiler struct {
+	schema rel.Schema
+}
+
+func (c *compiler) compile(e sql.Expr) (*Compiled, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		v := x.Value
+		return &Compiled{Type: v.Type(), Eval: func(rel.Row) (rel.Value, error) { return v, nil }}, nil
+
+	case *sql.ColumnRef:
+		idx, err := c.schema.Resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		t := c.schema.Col(idx).Type
+		return &Compiled{Type: t, Eval: func(r rel.Row) (rel.Value, error) {
+			if idx >= len(r) {
+				return rel.Null(), fmt.Errorf("expr: row too short for column %d", idx)
+			}
+			return r[idx], nil
+		}}, nil
+
+	case *sql.BinaryExpr:
+		return c.compileBinary(x)
+
+	case *sql.UnaryExpr:
+		return c.compileUnary(x)
+
+	case *sql.FuncCall:
+		if sql.AggregateFuncs[x.Name] {
+			return nil, fmt.Errorf("expr: aggregate %s not allowed here", x.Name)
+		}
+		return c.compileFunc(x)
+
+	case *sql.IsNullExpr:
+		inner, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return &Compiled{Type: rel.TypeBool, Eval: func(r rel.Row) (rel.Value, error) {
+			v, err := inner.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			return rel.Bool(v.IsNull() != not), nil
+		}}, nil
+
+	case *sql.InExpr:
+		return c.compileIn(x)
+
+	case *sql.BetweenExpr:
+		return c.compileBetween(x)
+
+	case *sql.LikeExpr:
+		return c.compileLike(x)
+
+	case *sql.CaseExpr:
+		return c.compileCase(x)
+
+	case *sql.CastExpr:
+		inner, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		to := x.Type
+		return &Compiled{Type: to, Eval: func(r rel.Row) (rel.Value, error) {
+			v, err := inner.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			out, err := rel.Coerce(v, to)
+			if err != nil {
+				// CAST of unparseable text yields NULL rather than aborting
+				// the query: LLM-sourced values must not kill execution.
+				return rel.NullOf(to), nil
+			}
+			return out, nil
+		}}, nil
+
+	default:
+		return nil, fmt.Errorf("expr: unsupported expression %T", e)
+	}
+}
+
+func (c *compiler) compileBinary(x *sql.BinaryExpr) (*Compiled, error) {
+	left, err := c.compile(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.compile(x.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case sql.OpAnd, sql.OpOr:
+		isAnd := x.Op == sql.OpAnd
+		return &Compiled{Type: rel.TypeBool, Eval: func(r rel.Row) (rel.Value, error) {
+			lv, err := left.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			rv, err := right.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			lt, rt := rel.TristateOf(lv), rel.TristateOf(rv)
+			if isAnd {
+				return lt.And(rt).ToValue(), nil
+			}
+			return lt.Or(rt).ToValue(), nil
+		}}, nil
+
+	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		op := x.Op
+		return &Compiled{Type: rel.TypeBool, Eval: func(r rel.Row) (rel.Value, error) {
+			lv, err := left.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			rv, err := right.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			cmp, ts := rel.Compare(lv, rv)
+			if ts != rel.True {
+				return rel.NullOf(rel.TypeBool), nil
+			}
+			var ok bool
+			switch op {
+			case sql.OpEq:
+				ok = cmp == 0
+			case sql.OpNe:
+				ok = cmp != 0
+			case sql.OpLt:
+				ok = cmp < 0
+			case sql.OpLe:
+				ok = cmp <= 0
+			case sql.OpGt:
+				ok = cmp > 0
+			case sql.OpGe:
+				ok = cmp >= 0
+			}
+			return rel.Bool(ok), nil
+		}}, nil
+
+	case sql.OpConcat:
+		return &Compiled{Type: rel.TypeText, Eval: func(r rel.Row) (rel.Value, error) {
+			lv, err := left.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			rv, err := right.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return rel.NullOf(rel.TypeText), nil
+			}
+			return rel.Text(lv.AsText() + rv.AsText()), nil
+		}}, nil
+
+	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv, sql.OpMod:
+		return c.compileArith(x.Op, left, right)
+
+	default:
+		return nil, fmt.Errorf("expr: unsupported binary operator %v", x.Op)
+	}
+}
+
+func (c *compiler) compileArith(op sql.BinaryOp, left, right *Compiled) (*Compiled, error) {
+	resType := rel.TypeFloat
+	intInt := left.Type == rel.TypeInt && right.Type == rel.TypeInt
+	if intInt {
+		resType = rel.TypeInt
+	}
+	// Division always yields float except integer %.
+	if op == sql.OpDiv {
+		resType = rel.TypeFloat
+	}
+	return &Compiled{Type: resType, Eval: func(r rel.Row) (rel.Value, error) {
+		lv, err := left.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		rv, err := right.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return rel.NullOf(resType), nil
+		}
+		lf, err := rel.Coerce(lv, rel.TypeFloat)
+		if err != nil {
+			return rel.NullOf(resType), nil
+		}
+		rf, err := rel.Coerce(rv, rel.TypeFloat)
+		if err != nil {
+			return rel.NullOf(resType), nil
+		}
+		a, b := lf.AsFloat(), rf.AsFloat()
+		var out float64
+		switch op {
+		case sql.OpAdd:
+			out = a + b
+		case sql.OpSub:
+			out = a - b
+		case sql.OpMul:
+			out = a * b
+		case sql.OpDiv:
+			if b == 0 {
+				return rel.NullOf(rel.TypeFloat), nil
+			}
+			return rel.Float(a / b), nil
+		case sql.OpMod:
+			if b == 0 {
+				return rel.NullOf(resType), nil
+			}
+			out = math.Mod(a, b)
+		}
+		if intInt && op != sql.OpDiv {
+			return rel.Int(int64(out)), nil
+		}
+		return rel.Float(out), nil
+	}}, nil
+}
+
+func (c *compiler) compileUnary(x *sql.UnaryExpr) (*Compiled, error) {
+	inner, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "NOT":
+		return &Compiled{Type: rel.TypeBool, Eval: func(r rel.Row) (rel.Value, error) {
+			v, err := inner.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			return rel.TristateOf(v).Not().ToValue(), nil
+		}}, nil
+	case "-":
+		t := inner.Type
+		if !t.Numeric() {
+			t = rel.TypeFloat
+		}
+		return &Compiled{Type: t, Eval: func(r rel.Row) (rel.Value, error) {
+			v, err := inner.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			if v.IsNull() {
+				return rel.NullOf(t), nil
+			}
+			if v.Type() == rel.TypeInt {
+				return rel.Int(-v.AsInt()), nil
+			}
+			f, err := rel.Coerce(v, rel.TypeFloat)
+			if err != nil {
+				return rel.NullOf(t), nil
+			}
+			return rel.Float(-f.AsFloat()), nil
+		}}, nil
+	default:
+		return nil, fmt.Errorf("expr: unsupported unary operator %q", x.Op)
+	}
+}
+
+func (c *compiler) compileIn(x *sql.InExpr) (*Compiled, error) {
+	if x.Subquery != nil {
+		return nil, fmt.Errorf("expr: IN subquery must be materialised by the planner before compilation")
+	}
+	target, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]*Compiled, len(x.List))
+	for i, it := range x.List {
+		ci, err := c.compile(it)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = ci
+	}
+	not := x.Not
+	return &Compiled{Type: rel.TypeBool, Eval: func(r rel.Row) (rel.Value, error) {
+		tv, err := target.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		if tv.IsNull() {
+			return rel.NullOf(rel.TypeBool), nil
+		}
+		sawNull := false
+		for _, it := range items {
+			iv, err := it.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if rel.Equal(tv, iv) {
+				return rel.Bool(!not), nil
+			}
+		}
+		if sawNull {
+			return rel.NullOf(rel.TypeBool), nil
+		}
+		return rel.Bool(not), nil
+	}}, nil
+}
+
+func (c *compiler) compileBetween(x *sql.BetweenExpr) (*Compiled, error) {
+	target, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := c.compile(x.Lo)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := c.compile(x.Hi)
+	if err != nil {
+		return nil, err
+	}
+	not := x.Not
+	return &Compiled{Type: rel.TypeBool, Eval: func(r rel.Row) (rel.Value, error) {
+		tv, err := target.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		lv, err := lo.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		hv, err := hi.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		c1, t1 := rel.Compare(tv, lv)
+		c2, t2 := rel.Compare(tv, hv)
+		if t1 != rel.True || t2 != rel.True {
+			return rel.NullOf(rel.TypeBool), nil
+		}
+		in := c1 >= 0 && c2 <= 0
+		return rel.Bool(in != not), nil
+	}}, nil
+}
+
+func (c *compiler) compileLike(x *sql.LikeExpr) (*Compiled, error) {
+	target, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := c.compile(x.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	not := x.Not
+	return &Compiled{Type: rel.TypeBool, Eval: func(r rel.Row) (rel.Value, error) {
+		tv, err := target.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		pv, err := pat.Eval(r)
+		if err != nil {
+			return rel.Null(), err
+		}
+		if tv.IsNull() || pv.IsNull() {
+			return rel.NullOf(rel.TypeBool), nil
+		}
+		ok := MatchLike(tv.AsText(), pv.AsText())
+		return rel.Bool(ok != not), nil
+	}}, nil
+}
+
+func (c *compiler) compileCase(x *sql.CaseExpr) (*Compiled, error) {
+	var operand *Compiled
+	var err error
+	if x.Operand != nil {
+		operand, err = c.compile(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type arm struct {
+		cond *Compiled
+		then *Compiled
+	}
+	arms := make([]arm, len(x.Whens))
+	resType := rel.TypeUnknown
+	for i, w := range x.Whens {
+		cond, err := c.compile(w.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.compile(w.Then)
+		if err != nil {
+			return nil, err
+		}
+		arms[i] = arm{cond, then}
+		resType = rel.CommonType(resType, then.Type)
+	}
+	var elseC *Compiled
+	if x.Else != nil {
+		elseC, err = c.compile(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		resType = rel.CommonType(resType, elseC.Type)
+	}
+	return &Compiled{Type: resType, Eval: func(r rel.Row) (rel.Value, error) {
+		var opv rel.Value
+		if operand != nil {
+			var err error
+			opv, err = operand.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+		}
+		for _, a := range arms {
+			cv, err := a.cond.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			matched := false
+			if operand != nil {
+				matched = rel.Equal(opv, cv)
+			} else {
+				matched = rel.TristateOf(cv) == rel.True
+			}
+			if matched {
+				return a.then.Eval(r)
+			}
+		}
+		if elseC != nil {
+			return elseC.Eval(r)
+		}
+		return rel.NullOf(resType), nil
+	}}, nil
+}
+
+// MatchLike implements SQL LIKE pattern matching with % (any run) and _
+// (any single character). Matching is case-sensitive per the standard.
+func MatchLike(s, pattern string) bool {
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative two-pointer algorithm with backtracking on '%'.
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			starP = pi
+			starS = si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// scalarFuncs maps a function name to (arity check, type inference,
+// implementation).
+type scalarFunc struct {
+	minArgs int
+	maxArgs int // -1 for unbounded
+	typ     func(args []*Compiled) rel.DataType
+	impl    func(vals []rel.Value) (rel.Value, error)
+}
+
+var scalarFuncs = map[string]scalarFunc{
+	"UPPER": {1, 1, fixed(rel.TypeText), textFn(strings.ToUpper)},
+	"LOWER": {1, 1, fixed(rel.TypeText), textFn(strings.ToLower)},
+	"TRIM":  {1, 1, fixed(rel.TypeText), textFn(strings.TrimSpace)},
+	"LENGTH": {1, 1, fixed(rel.TypeInt), func(v []rel.Value) (rel.Value, error) {
+		if v[0].IsNull() {
+			return rel.NullOf(rel.TypeInt), nil
+		}
+		return rel.Int(int64(len(v[0].AsText()))), nil
+	}},
+	"SUBSTR": {2, 3, fixed(rel.TypeText), substrImpl},
+	"ABS": {1, 1, numericType, func(v []rel.Value) (rel.Value, error) {
+		if v[0].IsNull() {
+			return rel.Null(), nil
+		}
+		if v[0].Type() == rel.TypeInt {
+			n := v[0].AsInt()
+			if n < 0 {
+				n = -n
+			}
+			return rel.Int(n), nil
+		}
+		f, err := rel.Coerce(v[0], rel.TypeFloat)
+		if err != nil {
+			return rel.Null(), nil
+		}
+		return rel.Float(math.Abs(f.AsFloat())), nil
+	}},
+	"ROUND": {1, 2, numericType, roundImpl},
+	"FLOOR": {1, 1, fixed(rel.TypeInt), func(v []rel.Value) (rel.Value, error) {
+		if v[0].IsNull() {
+			return rel.NullOf(rel.TypeInt), nil
+		}
+		f, err := rel.Coerce(v[0], rel.TypeFloat)
+		if err != nil {
+			return rel.NullOf(rel.TypeInt), nil
+		}
+		return rel.Int(int64(math.Floor(f.AsFloat()))), nil
+	}},
+	"CEIL": {1, 1, fixed(rel.TypeInt), func(v []rel.Value) (rel.Value, error) {
+		if v[0].IsNull() {
+			return rel.NullOf(rel.TypeInt), nil
+		}
+		f, err := rel.Coerce(v[0], rel.TypeFloat)
+		if err != nil {
+			return rel.NullOf(rel.TypeInt), nil
+		}
+		return rel.Int(int64(math.Ceil(f.AsFloat()))), nil
+	}},
+	"COALESCE": {1, -1, firstArgType, func(v []rel.Value) (rel.Value, error) {
+		for _, x := range v {
+			if !x.IsNull() {
+				return x, nil
+			}
+		}
+		return rel.Null(), nil
+	}},
+	"NULLIF": {2, 2, firstArgType, func(v []rel.Value) (rel.Value, error) {
+		if rel.Equal(v[0], v[1]) {
+			return rel.Null(), nil
+		}
+		return v[0], nil
+	}},
+	"CONCAT": {1, -1, fixed(rel.TypeText), func(v []rel.Value) (rel.Value, error) {
+		var b strings.Builder
+		for _, x := range v {
+			if !x.IsNull() {
+				b.WriteString(x.AsText())
+			}
+		}
+		return rel.Text(b.String()), nil
+	}},
+}
+
+func fixed(t rel.DataType) func([]*Compiled) rel.DataType {
+	return func([]*Compiled) rel.DataType { return t }
+}
+
+func numericType(args []*Compiled) rel.DataType {
+	if len(args) > 0 && args[0].Type == rel.TypeInt {
+		return rel.TypeInt
+	}
+	return rel.TypeFloat
+}
+
+func firstArgType(args []*Compiled) rel.DataType {
+	t := rel.TypeUnknown
+	for _, a := range args {
+		t = rel.CommonType(t, a.Type)
+	}
+	return t
+}
+
+func textFn(f func(string) string) func([]rel.Value) (rel.Value, error) {
+	return func(v []rel.Value) (rel.Value, error) {
+		if v[0].IsNull() {
+			return rel.NullOf(rel.TypeText), nil
+		}
+		return rel.Text(f(v[0].AsText())), nil
+	}
+}
+
+func substrImpl(v []rel.Value) (rel.Value, error) {
+	if v[0].IsNull() || v[1].IsNull() {
+		return rel.NullOf(rel.TypeText), nil
+	}
+	s := v[0].AsText()
+	startV, err := rel.Coerce(v[1], rel.TypeInt)
+	if err != nil {
+		return rel.NullOf(rel.TypeText), nil
+	}
+	start := int(startV.AsInt()) - 1 // SQL is 1-based
+	if start < 0 {
+		start = 0
+	}
+	if start > len(s) {
+		return rel.Text(""), nil
+	}
+	end := len(s)
+	if len(v) == 3 && !v[2].IsNull() {
+		lenV, err := rel.Coerce(v[2], rel.TypeInt)
+		if err == nil {
+			n := int(lenV.AsInt())
+			if n < 0 {
+				n = 0
+			}
+			if start+n < end {
+				end = start + n
+			}
+		}
+	}
+	return rel.Text(s[start:end]), nil
+}
+
+func roundImpl(v []rel.Value) (rel.Value, error) {
+	if v[0].IsNull() {
+		return rel.Null(), nil
+	}
+	f, err := rel.Coerce(v[0], rel.TypeFloat)
+	if err != nil {
+		return rel.Null(), nil
+	}
+	digits := 0
+	if len(v) == 2 && !v[1].IsNull() {
+		d, err := rel.Coerce(v[1], rel.TypeInt)
+		if err == nil {
+			digits = int(d.AsInt())
+		}
+	}
+	scale := math.Pow(10, float64(digits))
+	out := math.Round(f.AsFloat()*scale) / scale
+	if digits <= 0 && v[0].Type() == rel.TypeInt {
+		return rel.Int(int64(out)), nil
+	}
+	return rel.Float(out), nil
+}
+
+func (c *compiler) compileFunc(x *sql.FuncCall) (*Compiled, error) {
+	def, ok := scalarFuncs[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown function %s", x.Name)
+	}
+	if len(x.Args) < def.minArgs || (def.maxArgs >= 0 && len(x.Args) > def.maxArgs) {
+		return nil, fmt.Errorf("expr: %s takes %d..%d arguments, got %d", x.Name, def.minArgs, def.maxArgs, len(x.Args))
+	}
+	args := make([]*Compiled, len(x.Args))
+	for i, a := range x.Args {
+		ca, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ca
+	}
+	typ := def.typ(args)
+	impl := def.impl
+	return &Compiled{Type: typ, Eval: func(r rel.Row) (rel.Value, error) {
+		vals := make([]rel.Value, len(args))
+		for i, a := range args {
+			v, err := a.Eval(r)
+			if err != nil {
+				return rel.Null(), err
+			}
+			vals[i] = v
+		}
+		return impl(vals)
+	}}, nil
+}

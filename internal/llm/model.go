@@ -1,0 +1,203 @@
+package llm
+
+import (
+	"sync"
+	"time"
+)
+
+// CompletionRequest asks a model to continue a prompt.
+type CompletionRequest struct {
+	// Prompt is the full input text.
+	Prompt string
+	// MaxTokens bounds the completion length; 0 means the model default.
+	MaxTokens int
+	// Temperature in [0,2]: 0 is deterministic greedy decoding; higher
+	// values diversify sampling (and, for SynthLM, raise hallucination).
+	Temperature float64
+	// Seed varies sampling between otherwise identical requests (the
+	// engine passes the sampling round number). Ignored at temperature 0.
+	Seed int64
+}
+
+// CompletionResponse is the model's answer plus usage accounting.
+type CompletionResponse struct {
+	// Text is the completion.
+	Text string
+	// PromptTokens and CompletionTokens are exact token counts.
+	PromptTokens     int
+	CompletionTokens int
+	// Truncated reports that MaxTokens cut the completion.
+	Truncated bool
+}
+
+// Model is anything that completes prompts. Implementations must be safe
+// for concurrent use.
+type Model interface {
+	// Complete runs one completion.
+	Complete(req CompletionRequest) (CompletionResponse, error)
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// CostModel converts token usage into simulated latency and dollar cost,
+// with defaults loosely shaped like a 2023 hosted API (the absolute
+// constants are configuration, not claims).
+type CostModel struct {
+	// PerCallLatency is the fixed round-trip overhead.
+	PerCallLatency time.Duration
+	// PerPromptToken and PerCompletionToken add linear latency.
+	PerPromptToken     time.Duration
+	PerCompletionToken time.Duration
+	// PromptUSDPerMTok / CompletionUSDPerMTok price a million tokens.
+	PromptUSDPerMTok     float64
+	CompletionUSDPerMTok float64
+}
+
+// DefaultCostModel returns the constants used by the benchmark harness.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerCallLatency:       250 * time.Millisecond,
+		PerPromptToken:       100 * time.Microsecond,
+		PerCompletionToken:   20 * time.Millisecond,
+		PromptUSDPerMTok:     1.0,
+		CompletionUSDPerMTok: 3.0,
+	}
+}
+
+// Latency returns the simulated wall-clock time of one call.
+func (c CostModel) Latency(promptTokens, completionTokens int) time.Duration {
+	return c.PerCallLatency +
+		time.Duration(promptTokens)*c.PerPromptToken +
+		time.Duration(completionTokens)*c.PerCompletionToken
+}
+
+// Dollars returns the simulated price of one call.
+func (c CostModel) Dollars(promptTokens, completionTokens int) float64 {
+	return float64(promptTokens)/1e6*c.PromptUSDPerMTok +
+		float64(completionTokens)/1e6*c.CompletionUSDPerMTok
+}
+
+// Usage accumulates model consumption across calls.
+type Usage struct {
+	Calls            int
+	PromptTokens     int
+	CompletionTokens int
+	// SimLatency is the total simulated wall-clock time under a CostModel.
+	SimLatency time.Duration
+	// SimDollars is the total simulated spend.
+	SimDollars float64
+}
+
+// TotalTokens returns prompt+completion tokens.
+func (u Usage) TotalTokens() int { return u.PromptTokens + u.CompletionTokens }
+
+// Add merges another usage into u.
+func (u *Usage) Add(o Usage) {
+	u.Calls += o.Calls
+	u.PromptTokens += o.PromptTokens
+	u.CompletionTokens += o.CompletionTokens
+	u.SimLatency += o.SimLatency
+	u.SimDollars += o.SimDollars
+}
+
+// CountingModel wraps a Model, accumulating Usage under a CostModel.
+type CountingModel struct {
+	Inner Model
+	Cost  CostModel
+
+	mu    sync.Mutex
+	usage Usage
+}
+
+// NewCounting wraps m with the default cost model.
+func NewCounting(m Model) *CountingModel {
+	return &CountingModel{Inner: m, Cost: DefaultCostModel()}
+}
+
+// Name implements Model.
+func (c *CountingModel) Name() string { return c.Inner.Name() }
+
+// Complete implements Model.
+func (c *CountingModel) Complete(req CompletionRequest) (CompletionResponse, error) {
+	resp, err := c.Inner.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	c.mu.Lock()
+	c.usage.Calls++
+	c.usage.PromptTokens += resp.PromptTokens
+	c.usage.CompletionTokens += resp.CompletionTokens
+	c.usage.SimLatency += c.Cost.Latency(resp.PromptTokens, resp.CompletionTokens)
+	c.usage.SimDollars += c.Cost.Dollars(resp.PromptTokens, resp.CompletionTokens)
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// Usage returns a snapshot of the accumulated usage.
+func (c *CountingModel) Usage() Usage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usage
+}
+
+// Reset zeroes the accumulated usage.
+func (c *CountingModel) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.usage = Usage{}
+}
+
+// CacheModel memoises completions keyed by (prompt, max tokens, temperature,
+// seed). It models a prompt cache in front of the API: repeated identical
+// requests cost nothing extra.
+type CacheModel struct {
+	Inner Model
+
+	mu    sync.Mutex
+	cache map[cacheKey]CompletionResponse
+	hits  int
+	miss  int
+}
+
+type cacheKey struct {
+	prompt    string
+	maxTokens int
+	temp      float64
+	seed      int64
+}
+
+// NewCache wraps m with an unbounded memo table.
+func NewCache(m Model) *CacheModel {
+	return &CacheModel{Inner: m, cache: make(map[cacheKey]CompletionResponse)}
+}
+
+// Name implements Model.
+func (c *CacheModel) Name() string { return c.Inner.Name() }
+
+// Complete implements Model.
+func (c *CacheModel) Complete(req CompletionRequest) (CompletionResponse, error) {
+	key := cacheKey{req.Prompt, req.MaxTokens, req.Temperature, req.Seed}
+	c.mu.Lock()
+	if resp, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return resp, nil
+	}
+	c.miss++
+	c.mu.Unlock()
+	resp, err := c.Inner.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	c.mu.Lock()
+	c.cache[key] = resp
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// Stats returns (hits, misses).
+func (c *CacheModel) Stats() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}

@@ -1,0 +1,572 @@
+package llm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"llmsql/internal/expr"
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+	"llmsql/internal/world"
+)
+
+// The prompt protocol: the engine (internal/core) emits prompts composed of
+// tagged lines; SynthLM parses them the way an instruction-following model
+// would. The tags are:
+//
+//	TASK: LIST | KEYS | ATTR
+//	TABLE: <name> -- <description>
+//	COLUMNS: <col> -- <desc> | <col> -- <desc> | ...   (LIST)
+//	ENTITY: <key>                                      (ATTR)
+//	COLUMN: <col> -- <desc>                            (ATTR)
+//	FILTER: <condition over the column names>          (optional)
+//	EXCLUDE: <key> | <key> | ...                       (optional)
+//	MAXROWS: <n>                                       (optional)
+//
+// LIST/KEYS answers are pipe-separated rows, one per line; ATTR answers are
+// a single value, possibly wrapped in a sentence. All answer-side noise
+// (prose preambles, ragged rows, unit suffixes, hallucinations, truncation)
+// is injected here so the engine's tolerant parser is exercised exactly as
+// it would be against a hosted model.
+
+// NoiseProfile controls how unreliable the simulated model is. All rates
+// are probabilities in [0,1] unless noted.
+type NoiseProfile struct {
+	// Coverage scales which entities the model knows at all; the effective
+	// per-entity probability also grows with prominence.
+	Coverage float64
+	// EnumRecall scales how reliably a known entity surfaces in a single
+	// LIST/KEYS completion (per sampling round at temperature > 0).
+	EnumRecall float64
+	// AttrRecall scales how often a known entity's attribute is correct.
+	AttrRecall float64
+	// Hallucination is the per-row probability of inventing a nonexistent
+	// entity in LIST/KEYS output; temperature amplifies it.
+	Hallucination float64
+	// ValueNoise is the max relative error applied to numerics the model
+	// misremembers.
+	ValueNoise float64
+	// Confusion is the probability that a misremembered attribute takes
+	// another entity's value instead of a perturbed/blank one.
+	Confusion float64
+	// FormatError is the per-row probability of emitting a malformed row.
+	FormatError float64
+	// FilterAdherence is the probability a row violating the prompt FILTER
+	// is correctly suppressed.
+	FilterAdherence float64
+}
+
+// Profiles shaped like three model tiers. The absolute values are
+// configuration, chosen so the benchmark curves separate clearly.
+var (
+	// ProfileLarge imitates a frontier model.
+	ProfileLarge = NoiseProfile{
+		Coverage: 0.95, EnumRecall: 0.92, AttrRecall: 0.93,
+		Hallucination: 0.02, ValueNoise: 0.05, Confusion: 0.5,
+		FormatError: 0.03, FilterAdherence: 0.95,
+	}
+	// ProfileMedium imitates a mid-tier model.
+	ProfileMedium = NoiseProfile{
+		Coverage: 0.82, EnumRecall: 0.78, AttrRecall: 0.82,
+		Hallucination: 0.05, ValueNoise: 0.12, Confusion: 0.5,
+		FormatError: 0.08, FilterAdherence: 0.85,
+	}
+	// ProfileSmall imitates a small open model.
+	ProfileSmall = NoiseProfile{
+		Coverage: 0.60, EnumRecall: 0.60, AttrRecall: 0.65,
+		Hallucination: 0.12, ValueNoise: 0.25, Confusion: 0.5,
+		FormatError: 0.15, FilterAdherence: 0.70,
+	}
+)
+
+// WithCoverage returns a copy of p with Coverage set to c (used by the
+// model-quality sweep).
+func (p NoiseProfile) WithCoverage(c float64) NoiseProfile {
+	p.Coverage = c
+	return p
+}
+
+// SynthLM is the deterministic simulated LLM. It is safe for concurrent use
+// (all state is immutable after construction).
+type SynthLM struct {
+	world   *world.World
+	profile NoiseProfile
+	seed    int64
+	name    string
+	// defaultMaxTokens bounds completions when the request does not.
+	defaultMaxTokens int
+}
+
+// NewSynthLM builds a simulated model over w.
+func NewSynthLM(w *world.World, profile NoiseProfile, seed int64) *SynthLM {
+	return &SynthLM{
+		world:            w,
+		profile:          profile,
+		seed:             seed,
+		name:             fmt.Sprintf("synthlm(cov=%.2f,seed=%d)", profile.Coverage, seed),
+		defaultMaxTokens: 4096,
+	}
+}
+
+// Name implements Model.
+func (m *SynthLM) Name() string { return m.name }
+
+// Complete implements Model.
+func (m *SynthLM) Complete(req CompletionRequest) (CompletionResponse, error) {
+	spec, err := parsePrompt(req.Prompt)
+	if err != nil {
+		// A real model answers *something* for malformed input; refusing
+		// keeps engine bugs visible, so return the error.
+		return CompletionResponse{}, err
+	}
+	maxTok := req.MaxTokens
+	if maxTok == 0 {
+		maxTok = m.defaultMaxTokens
+	}
+
+	var text string
+	var truncated bool
+	switch spec.task {
+	case "LIST", "KEYS":
+		text, truncated = m.completeList(spec, req, maxTok)
+	case "ATTR":
+		text = m.completeAttr(spec, req)
+		if maxTok > 0 && CountTokens(text) > maxTok {
+			text = TruncateTokens(text, maxTok)
+			truncated = true
+		}
+	default:
+		return CompletionResponse{}, fmt.Errorf("llm: unknown task %q", spec.task)
+	}
+
+	return CompletionResponse{
+		Text:             text,
+		PromptTokens:     CountTokens(req.Prompt),
+		CompletionTokens: CountTokens(text),
+		Truncated:        truncated,
+	}, nil
+}
+
+// promptSpec is the parsed request.
+type promptSpec struct {
+	task    string
+	table   string
+	columns []string
+	entity  string
+	column  string
+	filter  string
+	exclude map[string]bool
+	maxRows int
+}
+
+func parsePrompt(prompt string) (*promptSpec, error) {
+	spec := &promptSpec{exclude: map[string]bool{}, maxRows: -1}
+	for _, line := range strings.Split(prompt, "\n") {
+		line = strings.TrimSpace(line)
+		tag, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		switch strings.ToUpper(tag) {
+		case "TASK":
+			spec.task = strings.ToUpper(rest)
+		case "TABLE":
+			spec.table = strings.ToLower(nameBeforeDesc(rest))
+		case "COLUMNS":
+			for _, part := range strings.Split(rest, "|") {
+				if c := strings.ToLower(nameBeforeDesc(part)); c != "" {
+					spec.columns = append(spec.columns, c)
+				}
+			}
+		case "ENTITY":
+			spec.entity = rest
+		case "COLUMN":
+			spec.column = strings.ToLower(nameBeforeDesc(rest))
+		case "FILTER":
+			spec.filter = rest
+		case "EXCLUDE":
+			for _, part := range strings.Split(rest, "|") {
+				if k := strings.ToLower(strings.TrimSpace(part)); k != "" {
+					spec.exclude[k] = true
+				}
+			}
+		case "MAXROWS":
+			var n int
+			if _, err := fmt.Sscanf(rest, "%d", &n); err == nil {
+				spec.maxRows = n
+			}
+		}
+	}
+	if spec.task == "" {
+		return nil, fmt.Errorf("llm: prompt has no TASK line")
+	}
+	if spec.table == "" {
+		return nil, fmt.Errorf("llm: prompt has no TABLE line")
+	}
+	return spec, nil
+}
+
+func nameBeforeDesc(s string) string {
+	name, _, _ := strings.Cut(s, "--")
+	return strings.TrimSpace(name)
+}
+
+// ---- deterministic knowledge layer ----
+
+// knowU derives a uniform in [0,1) that depends only on the model seed and
+// the fact identity — the model's stable "memory".
+func (m *SynthLM) knowU(parts ...string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", m.seed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(strings.ToLower(p)))
+	}
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// entityKnown reports whether the model knows the entity at all. The
+// probability is strongly prominence-weighted: head entities are almost
+// surely known at full coverage while tail entities are mostly unknown —
+// the defining property of LLM factual recall.
+func (m *SynthLM) entityKnown(d *world.Domain, e *world.Entity) bool {
+	p := clamp01(m.profile.Coverage * (0.15 + 0.90*e.Prominence))
+	return m.knowU(d.Name, e.Key, "known") < p
+}
+
+// weakCorrectProb is the chance that a weakly remembered fact still comes
+// out right in one sample at temperature > 0. Because the correct value is
+// the single most likely answer while wrong answers scatter across donors,
+// majority voting over k samples converges to the truth — the mechanism
+// self-consistency exploits.
+const weakCorrectProb = 0.5
+
+// recalledValue returns the model's belief about one attribute of a known
+// entity: (value, correct). Solidly known facts are always right. Weakly
+// known facts are deterministic-wrong at temperature 0 (greedy decoding
+// repeats the same mistake) but vary per sample at temperature > 0, being
+// right with probability weakCorrectProb.
+func (m *SynthLM) recalledValue(d *world.Domain, e *world.Entity, col int, rng *rand.Rand, temp float64) (rel.Value, bool) {
+	truth := e.Row[col]
+	if d.Schema.Col(col).Key {
+		return truth, true // the key is the entity's identity
+	}
+	colName := d.Schema.Col(col).Name
+	pCorrect := clamp01(m.profile.AttrRecall * (0.45 + 0.55*e.Prominence))
+	if m.knowU(d.Name, e.Key, colName, "recall") < pCorrect {
+		return truth, true
+	}
+	// Weakly known fact.
+	if temp > 0 && rng != nil {
+		if rng.Float64() < weakCorrectProb {
+			return truth, true
+		}
+		return m.wrongValue(d, e, col, rng.Float64(), rng.Float64(), rng.Float64()), false
+	}
+	// Greedy decoding: a stable wrong answer derived from the fact hash.
+	return m.wrongValue(d, e, col,
+		m.knowU(d.Name, e.Key, colName, "mode"),
+		m.knowU(d.Name, e.Key, colName, "donor"),
+		m.knowU(d.Name, e.Key, colName, "eps")), false
+}
+
+// wrongValue fabricates an incorrect belief: either another entity's value
+// (confusion) or a numeric perturbation, driven by three uniforms.
+func (m *SynthLM) wrongValue(d *world.Domain, e *world.Entity, col int, uMode, uDonor, uEps float64) rel.Value {
+	truth := e.Row[col]
+	if uMode < m.profile.Confusion || !truth.Type().Numeric() {
+		donor := int(uDonor * float64(len(d.Entities)))
+		if donor >= len(d.Entities) {
+			donor = len(d.Entities) - 1
+		}
+		return d.Entities[donor].Row[col]
+	}
+	eps := (2*uEps - 1) * m.profile.ValueNoise
+	// Guarantee the perturbed value differs from the truth.
+	if eps == 0 {
+		eps = m.profile.ValueNoise
+	}
+	f := truth.AsFloat() * (1 + eps)
+	if truth.Type() == rel.TypeInt {
+		n := int64(math.Round(f))
+		if n == truth.AsInt() {
+			n++
+		}
+		return rel.Int(n)
+	}
+	return rel.Float(math.Round(f*10) / 10)
+}
+
+// beliefRow assembles the model's belief about a full entity row.
+func (m *SynthLM) beliefRow(d *world.Domain, e *world.Entity, rng *rand.Rand, temp float64) rel.Row {
+	out := make(rel.Row, d.Schema.Len())
+	for i := range out {
+		v, _ := m.recalledValue(d, e, i, rng, temp)
+		out[i] = v
+	}
+	return out
+}
+
+// sessionRng derives the per-request sampling stream.
+func (m *SynthLM) sessionRng(req CompletionRequest) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%g|", m.seed, req.Seed, req.Temperature)
+	h.Write([]byte(req.Prompt))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// ---- LIST / KEYS ----
+
+func (m *SynthLM) completeList(spec *promptSpec, req CompletionRequest, maxTok int) (string, bool) {
+	d := m.world.Domain(spec.table)
+	if d == nil {
+		return "I do not have information about that table.", false
+	}
+	rng := m.sessionRng(req)
+
+	// Resolve requested columns to schema positions (KEYS = key column).
+	var cols []int
+	if spec.task == "KEYS" || len(spec.columns) == 0 {
+		cols = []int{0}
+	} else {
+		for _, c := range spec.columns {
+			if i := d.Schema.IndexOf(c); i >= 0 {
+				cols = append(cols, i)
+			}
+		}
+		if len(cols) == 0 {
+			cols = []int{0}
+		}
+	}
+
+	// Compile the filter against the domain schema; an unparseable filter
+	// is simply ignored (the model "did not understand" it).
+	var pred func(rel.Row) (rel.Tristate, error)
+	if spec.filter != "" {
+		if e, err := sql.ParseExpr(spec.filter); err == nil {
+			if p, err := expr.CompileBool(e, d.Schema); err == nil {
+				pred = p
+			}
+		}
+	}
+
+	var lines []string
+	count := 0
+	for i := range d.Entities {
+		e := &d.Entities[i]
+		if spec.maxRows >= 0 && count >= spec.maxRows {
+			break
+		}
+		if !m.entityKnown(d, e) {
+			continue
+		}
+		if spec.exclude[strings.ToLower(e.Key)] {
+			continue
+		}
+		// Per-round enumeration: at temperature 0 the subset is fixed; at
+		// temperature > 0 each round surfaces a random subset of known
+		// entities, so unions across rounds converge upward.
+		pEnum := clamp01(m.profile.EnumRecall * (0.40 + 0.60*e.Prominence))
+		var u float64
+		if req.Temperature <= 0 {
+			u = m.knowU(d.Name, e.Key, "enum")
+		} else {
+			u = rng.Float64()
+		}
+		if u >= pEnum {
+			continue
+		}
+		belief := m.beliefRow(d, e, rng, req.Temperature)
+		if pred != nil {
+			ts, err := pred(belief)
+			keep := err == nil && ts == rel.True
+			if !keep && rng.Float64() < m.profile.FilterAdherence {
+				continue // correctly suppressed
+			}
+		}
+		lines = append(lines, m.renderRow(rng, d, belief, cols))
+		count++
+
+		// Hallucinate an extra plausible-but-fake row occasionally.
+		pH := m.profile.Hallucination * (0.3 + req.Temperature)
+		if rng.Float64() < pH && (spec.maxRows < 0 || count < spec.maxRows) {
+			fake := m.hallucinatedRow(rng, d)
+			if spec.exclude[strings.ToLower(fake[0].AsText())] {
+				continue
+			}
+			if pred != nil {
+				ts, err := pred(fake)
+				if (err != nil || ts != rel.True) && rng.Float64() < m.profile.FilterAdherence {
+					continue
+				}
+			}
+			lines = append(lines, m.renderRow(rng, d, fake, cols))
+			count++
+		}
+	}
+
+	if len(lines) == 0 {
+		return "No further rows.", false
+	}
+	// Prose preamble sometimes (the parser must skip it).
+	if rng.Float64() < 0.2 {
+		lines = append([]string{fmt.Sprintf("Here are the %s rows I know of:", d.Name)}, lines...)
+	}
+	if rng.Float64() < 0.1 {
+		lines = append(lines, "(end of list)")
+	}
+	return joinTruncated(lines, maxTok)
+}
+
+// renderRow formats a belief row over the chosen columns, injecting format
+// noise at the configured rate.
+func (m *SynthLM) renderRow(rng *rand.Rand, d *world.Domain, row rel.Row, cols []int) string {
+	fields := make([]string, len(cols))
+	for i, c := range cols {
+		fields[i] = m.renderValue(rng, d, row[c], c)
+	}
+	line := strings.Join(fields, " | ")
+	if rng.Float64() >= m.profile.FormatError {
+		return line
+	}
+	// Malformed variants.
+	switch rng.Intn(4) {
+	case 0: // bullet prefix
+		return "- " + line
+	case 1: // comma separator instead of pipe
+		return strings.Join(fields, ", ")
+	case 2: // drop the last field
+		if len(fields) > 1 {
+			return strings.Join(fields[:len(fields)-1], " | ")
+		}
+		return line
+	default: // wrap in commentary
+		return fmt.Sprintf("Row: %s.", line)
+	}
+}
+
+// renderValue renders one value, occasionally decorating numerics the way
+// chatty models do ("about 68", "1,408").
+func (m *SynthLM) renderValue(rng *rand.Rand, d *world.Domain, v rel.Value, col int) string {
+	if v.IsNull() {
+		return "unknown"
+	}
+	s := v.String()
+	if !v.Type().Numeric() {
+		return s
+	}
+	switch {
+	case rng.Float64() < 0.05:
+		return "about " + s
+	case rng.Float64() < 0.05 && v.Type() == rel.TypeInt && v.AsInt() >= 1000:
+		return addThousandsSeparators(v.AsInt())
+	default:
+		return s
+	}
+}
+
+func addThousandsSeparators(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// hallucinatedRow fabricates a plausible fake entity for the domain.
+func (m *SynthLM) hallucinatedRow(rng *rand.Rand, d *world.Domain) rel.Row {
+	row := make(rel.Row, d.Schema.Len())
+	// Fake key: blend of two real keys, which looks plausible and is
+	// guaranteed distinct from both.
+	a := d.Entities[rng.Intn(len(d.Entities))].Key
+	b := d.Entities[rng.Intn(len(d.Entities))].Key
+	fakeKey := blendNames(a, b)
+	if d.Entity(fakeKey) != nil {
+		fakeKey = fakeKey + "ia"
+	}
+	row[0] = rel.Text(fakeKey)
+	// Fake attributes: borrow a random real entity's values column-wise.
+	for i := 1; i < d.Schema.Len(); i++ {
+		donor := d.Entities[rng.Intn(len(d.Entities))]
+		row[i] = donor.Row[i]
+	}
+	return row
+}
+
+func blendNames(a, b string) string {
+	ha := a[:(len(a)+1)/2]
+	hb := b[len(b)/2:]
+	out := strings.TrimSpace(ha + hb)
+	if out == "" {
+		return "Zzyzx"
+	}
+	return out
+}
+
+// ---- ATTR ----
+
+func (m *SynthLM) completeAttr(spec *promptSpec, req CompletionRequest) string {
+	d := m.world.Domain(spec.table)
+	if d == nil {
+		return "I do not have information about that table."
+	}
+	rng := m.sessionRng(req)
+	e := d.Entity(spec.entity)
+	col := d.Schema.IndexOf(spec.column)
+	if col < 0 {
+		return "I do not know that attribute."
+	}
+	if e == nil || !m.entityKnown(d, e) {
+		// Unknown entity: either admit it or hallucinate confidently.
+		if rng.Float64() < 0.5 {
+			return "I'm not sure."
+		}
+		donor := d.Entities[rng.Intn(len(d.Entities))]
+		return m.wrapAttr(rng, spec, donor.Row[col].String())
+	}
+	v, _ := m.recalledValue(d, e, col, rng, req.Temperature)
+	if v.IsNull() {
+		return "I'm not sure."
+	}
+	return m.wrapAttr(rng, spec, v.String())
+}
+
+// wrapAttr renders an attribute answer in one of several phrasings.
+func (m *SynthLM) wrapAttr(rng *rand.Rand, spec *promptSpec, value string) string {
+	switch rng.Intn(4) {
+	case 0:
+		return value
+	case 1:
+		return fmt.Sprintf("The %s of %s is %s.", spec.column, spec.entity, value)
+	case 2:
+		return value + "."
+	default:
+		return fmt.Sprintf("%s: %s", spec.column, value)
+	}
+}

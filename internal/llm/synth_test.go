@@ -1,0 +1,296 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"llmsql/internal/world"
+)
+
+func synthWorld() *world.World {
+	return world.Generate(world.Config{Seed: 21, Countries: 60, Movies: 80, Laureates: 40, Companies: 40})
+}
+
+func listPrompt(table string, extra ...string) string {
+	lines := []string{
+		"You are a precise data assistant. Answer strictly from your world knowledge.",
+		"TASK: LIST",
+		"TABLE: " + table + " -- test domain",
+		"COLUMNS: name -- the key | capital -- the capital city | population -- population in millions",
+	}
+	lines = append(lines, extra...)
+	lines = append(lines, "Respond with one row per line, fields separated by ' | ', in column order. Output data only.")
+	return strings.Join(lines, "\n")
+}
+
+func TestSynthLMDeterministic(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 99)
+	req := CompletionRequest{Prompt: listPrompt("country"), Seed: 1, Temperature: 0.7}
+	r1, err := m.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Text != r2.Text {
+		t.Fatal("same request must give identical completion")
+	}
+	// Different seed gives (almost surely) different text at temp > 0.
+	r3, err := m.Complete(CompletionRequest{Prompt: listPrompt("country"), Seed: 2, Temperature: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Text == r3.Text {
+		t.Log("warning: different seeds produced identical output (possible but unlikely)")
+	}
+}
+
+func TestSynthLMGreedyIsSeedInvariant(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 99)
+	// At temperature 0 the enumerated subset must not depend on the seed.
+	r1, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country"), Seed: 1, Temperature: 0})
+	r2, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country"), Seed: 77, Temperature: 0})
+	keys1 := firstFields(r1.Text)
+	keys2 := firstFields(r2.Text)
+	if strings.Join(keys1, ";") != strings.Join(keys2, ";") {
+		t.Fatalf("greedy subsets differ:\n%v\nvs\n%v", keys1, keys2)
+	}
+}
+
+// firstFields extracts the first pipe-field of each data-looking line.
+func firstFields(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		f := strings.TrimSpace(strings.SplitN(line, "|", 2)[0])
+		f = strings.TrimPrefix(f, "- ")
+		f = strings.TrimPrefix(f, "Row: ")
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestSynthLMListRecallGrowsWithProfile(t *testing.T) {
+	w := synthWorld()
+	n := len(w.Domain("country").Entities)
+	small := NewSynthLM(w, ProfileSmall, 5)
+	large := NewSynthLM(w, ProfileLarge, 5)
+	rs, _ := small.Complete(CompletionRequest{Prompt: listPrompt("country")})
+	rl, _ := large.Complete(CompletionRequest{Prompt: listPrompt("country")})
+	ns, nl := len(firstFields(rs.Text)), len(firstFields(rl.Text))
+	if nl <= ns {
+		t.Fatalf("large model (%d rows) must list more than small (%d rows)", nl, ns)
+	}
+	if nl > n+n/3 {
+		t.Fatalf("too many rows (%d) for %d entities", nl, n)
+	}
+}
+
+func TestSynthLMHeadBetterThanTail(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileMedium, 31)
+	d := w.Domain("country")
+	resp, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country")})
+	listed := map[string]bool{}
+	for _, k := range firstFields(resp.Text) {
+		listed[strings.ToLower(k)] = true
+	}
+	headHits, tailHits := 0, 0
+	half := len(d.Entities) / 2
+	for i, e := range d.Entities {
+		if listed[strings.ToLower(e.Key)] {
+			if i < half {
+				headHits++
+			} else {
+				tailHits++
+			}
+		}
+	}
+	if headHits <= tailHits {
+		t.Fatalf("head recall (%d) must beat tail recall (%d)", headHits, tailHits)
+	}
+}
+
+func TestSynthLMExclude(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	base, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country")})
+	keys := firstFields(base.Text)
+	if len(keys) < 3 {
+		t.Fatalf("too few keys to test exclude: %v", keys)
+	}
+	excl := "EXCLUDE: " + keys[0] + " | " + keys[1]
+	resp, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country", excl)})
+	for _, k := range firstFields(resp.Text) {
+		if strings.EqualFold(k, keys[0]) || strings.EqualFold(k, keys[1]) {
+			t.Fatalf("excluded key %q still listed", k)
+		}
+	}
+}
+
+func TestSynthLMMaxRows(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	resp, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country", "MAXROWS: 5")})
+	if n := len(firstFields(resp.Text)); n > 5 {
+		t.Fatalf("maxrows violated: %d", n)
+	}
+}
+
+func TestSynthLMFilterReducesRows(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	all, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country")})
+	filtered, _ := m.Complete(CompletionRequest{Prompt: listPrompt("country", "FILTER: population > 100")})
+	nAll, nF := len(firstFields(all.Text)), len(firstFields(filtered.Text))
+	if nF >= nAll {
+		t.Fatalf("filter did not reduce rows: %d -> %d", nAll, nF)
+	}
+}
+
+func TestSynthLMTruncation(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	resp, err := m.Complete(CompletionRequest{Prompt: listPrompt("country"), MaxTokens: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if resp.CompletionTokens > 30 {
+		t.Fatalf("completion tokens %d > budget", resp.CompletionTokens)
+	}
+}
+
+func TestSynthLMAttrTask(t *testing.T) {
+	w := synthWorld()
+	d := w.Domain("country")
+	m := NewSynthLM(w, ProfileLarge, 7)
+	top := d.Entities[0] // most prominent: almost surely known
+	prompt := strings.Join([]string{
+		"TASK: ATTR",
+		"TABLE: country -- a country",
+		"ENTITY: " + top.Key,
+		"COLUMN: capital -- the capital city",
+		"Respond with only the value.",
+	}, "\n")
+	resp, err := m.Complete(CompletionRequest{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := top.Row[1].AsText()
+	if !strings.Contains(resp.Text, truth) {
+		t.Fatalf("attr answer %q does not contain truth %q", resp.Text, truth)
+	}
+}
+
+func TestSynthLMAttrUnknownEntity(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	prompt := strings.Join([]string{
+		"TASK: ATTR",
+		"TABLE: country -- a country",
+		"ENTITY: Definitely Not A Country",
+		"COLUMN: capital -- the capital city",
+	}, "\n")
+	resp, err := m.Complete(CompletionRequest{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text == "" {
+		t.Fatal("must answer something")
+	}
+}
+
+func TestSynthLMErrorsOnGarbagePrompt(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	if _, err := m.Complete(CompletionRequest{Prompt: "tell me a story"}); err == nil {
+		t.Fatal("garbage prompt must error")
+	}
+	if _, err := m.Complete(CompletionRequest{Prompt: "TASK: LIST"}); err == nil {
+		t.Fatal("missing TABLE must error")
+	}
+}
+
+func TestSynthLMUnknownTable(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	resp, err := m.Complete(CompletionRequest{Prompt: listPrompt("starships")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(resp.Text, "|") {
+		t.Fatalf("unknown table must not return rows: %q", resp.Text)
+	}
+}
+
+func TestSynthLMSamplingUnionGrows(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileMedium, 13)
+	seen := map[string]bool{}
+	var counts []int
+	for round := 0; round < 8; round++ {
+		resp, err := m.Complete(CompletionRequest{
+			Prompt:      listPrompt("country"),
+			Temperature: 0.8,
+			Seed:        int64(round),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range firstFields(resp.Text) {
+			seen[strings.ToLower(k)] = true
+		}
+		counts = append(counts, len(seen))
+	}
+	if counts[len(counts)-1] <= counts[0] {
+		t.Fatalf("union must grow across rounds: %v", counts)
+	}
+}
+
+func TestAddThousandsSeparators(t *testing.T) {
+	cases := map[int64]string{
+		1:        "1",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		-9876543: "-9,876,543",
+	}
+	for in, want := range cases {
+		if got := addThousandsSeparators(in); got != want {
+			t.Errorf("sep(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestKeysTask(t *testing.T) {
+	w := synthWorld()
+	m := NewSynthLM(w, ProfileLarge, 7)
+	prompt := strings.Join([]string{
+		"TASK: KEYS",
+		"TABLE: country -- a country",
+		"Respond with one name per line.",
+	}, "\n")
+	resp, err := m.Complete(CompletionRequest{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(resp.Text, "\n")
+	dataLines := 0
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" && !strings.HasSuffix(l, ":") {
+			dataLines++
+		}
+	}
+	if dataLines < 10 {
+		t.Fatalf("too few keys: %d\n%s", dataLines, resp.Text)
+	}
+}

@@ -1,0 +1,44 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"llmsql/internal/rel"
+)
+
+// MapCatalog is a simple Catalog backed by a map, used by tests and by
+// engines that assemble schemas programmatically.
+type MapCatalog map[string]rel.Schema
+
+// TableSchema implements Catalog.
+func (m MapCatalog) TableSchema(name string) (rel.Schema, error) {
+	s, ok := m[strings.ToLower(name)]
+	if !ok {
+		return rel.Schema{}, fmt.Errorf("plan: unknown table %q", name)
+	}
+	return s, nil
+}
+
+// MultiCatalog consults catalogs in order, returning the first hit. It lets
+// hybrid engines resolve local tables before falling back to virtual LLM
+// tables.
+type MultiCatalog []Catalog
+
+// TableSchema implements Catalog.
+func (m MultiCatalog) TableSchema(name string) (rel.Schema, error) {
+	var firstErr error
+	for _, c := range m {
+		s, err := c.TableSchema(name)
+		if err == nil {
+			return s, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("plan: unknown table %q", name)
+	}
+	return rel.Schema{}, firstErr
+}

@@ -1,0 +1,147 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"llmsql/internal/sql"
+)
+
+// Explain renders the plan as an indented tree, one operator per line.
+func Explain(n Node) string {
+	var b strings.Builder
+	explain(&b, n, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	switch x := n.(type) {
+	case *ScanNode:
+		fmt.Fprintf(b, "Scan %s", x.Table)
+		if x.Alias != "" && x.Alias != x.Table {
+			fmt.Fprintf(b, " AS %s", x.Alias)
+		}
+		if x.Filter != nil {
+			fmt.Fprintf(b, " [filter: %s]", sql.Deparse(x.Filter))
+		}
+		if x.Needed != nil {
+			var cols []string
+			for i, need := range x.Needed {
+				if need {
+					cols = append(cols, x.TableSchema.Col(i).Name)
+				}
+			}
+			fmt.Fprintf(b, " [cols: %s]", strings.Join(cols, ","))
+		}
+		b.WriteByte('\n')
+
+	case *FilterNode:
+		fmt.Fprintf(b, "Filter %s\n", sql.Deparse(x.Pred))
+		explain(b, x.Child, depth+1)
+
+	case *ProjectNode:
+		var parts []string
+		for i, e := range x.Exprs {
+			parts = append(parts, fmt.Sprintf("%s AS %s", sql.Deparse(e), x.Out.Col(i).Name))
+		}
+		fmt.Fprintf(b, "Project %s\n", strings.Join(parts, ", "))
+		explain(b, x.Child, depth+1)
+
+	case *JoinNode:
+		b.WriteString(x.Kind.String())
+		if len(x.LeftKey) > 0 {
+			var keys []string
+			for i := range x.LeftKey {
+				keys = append(keys, fmt.Sprintf("%s = %s", sql.Deparse(x.LeftKey[i]), sql.Deparse(x.RightKey[i])))
+			}
+			fmt.Fprintf(b, " [hash: %s]", strings.Join(keys, " AND "))
+		}
+		if x.Residual != nil {
+			fmt.Fprintf(b, " [residual: %s]", sql.Deparse(x.Residual))
+		} else if x.On != nil && len(x.LeftKey) == 0 {
+			fmt.Fprintf(b, " [on: %s]", sql.Deparse(x.On))
+		}
+		b.WriteByte('\n')
+		explain(b, x.Left, depth+1)
+		explain(b, x.Right, depth+1)
+
+	case *AggregateNode:
+		var groups, aggs []string
+		for _, g := range x.GroupBy {
+			groups = append(groups, sql.Deparse(g))
+		}
+		for _, a := range x.Aggs {
+			s := a.Func + "("
+			if a.Arg == nil {
+				s += "*"
+			} else {
+				if a.Distinct {
+					s += "DISTINCT "
+				}
+				s += sql.Deparse(a.Arg)
+			}
+			s += ")"
+			aggs = append(aggs, s)
+		}
+		fmt.Fprintf(b, "Aggregate")
+		if len(groups) > 0 {
+			fmt.Fprintf(b, " group=[%s]", strings.Join(groups, ", "))
+		}
+		if len(aggs) > 0 {
+			fmt.Fprintf(b, " aggs=[%s]", strings.Join(aggs, ", "))
+		}
+		b.WriteByte('\n')
+		explain(b, x.Child, depth+1)
+
+	case *SortNode:
+		var keys []string
+		for _, k := range x.Keys {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys = append(keys, fmt.Sprintf("#%d %s", k.Col, dir))
+		}
+		fmt.Fprintf(b, "Sort %s\n", strings.Join(keys, ", "))
+		explain(b, x.Child, depth+1)
+
+	case *LimitNode:
+		fmt.Fprintf(b, "Limit %d offset %d\n", x.Limit, x.Offset)
+		explain(b, x.Child, depth+1)
+
+	case *DistinctNode:
+		b.WriteString("Distinct\n")
+		explain(b, x.Child, depth+1)
+
+	case *ValuesNode:
+		fmt.Fprintf(b, "Values (%d rows)\n", len(x.Rows))
+
+	default:
+		fmt.Fprintf(b, "<?node %T>\n", n)
+	}
+}
+
+// ExplainWithRows renders the plan like Explain, annotating each operator
+// with its observed output cardinality (EXPLAIN ANALYZE). rows maps plan
+// nodes to emitted row counts as collected by the executor's profile.
+func ExplainWithRows(n Node, rows map[Node]int64) string {
+	var b strings.Builder
+	explainRows(&b, n, 0, rows)
+	return b.String()
+}
+
+func explainRows(b *strings.Builder, n Node, depth int, rows map[Node]int64) {
+	var line strings.Builder
+	explain(&line, n, depth)
+	text := line.String()
+	// Annotate only the first line (the node itself); children follow.
+	if idx := strings.IndexByte(text, '\n'); idx >= 0 {
+		head := text[:idx]
+		fmt.Fprintf(b, "%s  [rows=%d]\n", head, rows[n])
+	}
+	for _, c := range n.Children() {
+		explainRows(b, c, depth+1, rows)
+	}
+}

@@ -1,0 +1,389 @@
+package plan
+
+import (
+	"llmsql/internal/expr"
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+// Optimize applies the rule pipeline: constant folding in filters, predicate
+// pushdown (into join sides and scans, turning cross joins with equality
+// predicates into hash joins), join-key extraction, and projection pruning.
+func Optimize(n Node) Node {
+	n = foldFilters(n)
+	n = pushdown(n)
+	n = extractJoinKeys(n)
+	pruneColumns(n, nil)
+	return n
+}
+
+// ---- constant folding ----
+
+// foldFilters removes always-true conjuncts and replaces always-false
+// filters with empty inputs.
+func foldFilters(n Node) Node {
+	switch x := n.(type) {
+	case *FilterNode:
+		x.Child = foldFilters(x.Child)
+		var kept []sql.Expr
+		for _, c := range sql.SplitConjuncts(x.Pred) {
+			v, ok := constValue(c)
+			if !ok {
+				kept = append(kept, c)
+				continue
+			}
+			switch rel.TristateOf(v) {
+			case rel.True:
+				// drop
+			default:
+				// FALSE or UNKNOWN: the filter never passes.
+				return &ValuesNode{Out: x.Child.Schema()}
+			}
+		}
+		if len(kept) == 0 {
+			return x.Child
+		}
+		x.Pred = sql.JoinConjuncts(kept)
+		return x
+	default:
+		replaceChildren(n, foldFilters)
+		return n
+	}
+}
+
+// constValue evaluates e when it references no columns.
+func constValue(e sql.Expr) (rel.Value, bool) {
+	if len(sql.ColumnRefs(e)) > 0 {
+		return rel.Value{}, false
+	}
+	c, err := expr.Compile(e, rel.Schema{})
+	if err != nil {
+		return rel.Value{}, false
+	}
+	v, err := c.Eval(nil)
+	if err != nil {
+		return rel.Value{}, false
+	}
+	return v, true
+}
+
+// replaceChildren rewrites each child of n in place using f. Nodes are
+// pointer types so mutation is safe during optimization.
+func replaceChildren(n Node, f func(Node) Node) {
+	switch x := n.(type) {
+	case *FilterNode:
+		x.Child = f(x.Child)
+	case *ProjectNode:
+		x.Child = f(x.Child)
+	case *JoinNode:
+		x.Left = f(x.Left)
+		x.Right = f(x.Right)
+	case *AggregateNode:
+		x.Child = f(x.Child)
+	case *SortNode:
+		x.Child = f(x.Child)
+	case *LimitNode:
+		x.Child = f(x.Child)
+	case *DistinctNode:
+		x.Child = f(x.Child)
+	}
+}
+
+// ---- predicate pushdown ----
+
+func pushdown(n Node) Node {
+	switch x := n.(type) {
+	case *FilterNode:
+		child := pushdown(x.Child)
+		remaining := pushConjuncts(child, sql.SplitConjuncts(x.Pred))
+		if len(remaining) == 0 {
+			return child
+		}
+		x.Child = child
+		x.Pred = sql.JoinConjuncts(remaining)
+		return x
+	default:
+		replaceChildren(n, pushdown)
+		return n
+	}
+}
+
+// pushConjuncts tries to sink each conjunct into the subtree rooted at n,
+// returning the conjuncts that could not be placed.
+func pushConjuncts(n Node, conjuncts []sql.Expr) []sql.Expr {
+	var remaining []sql.Expr
+	for _, c := range conjuncts {
+		if !pushOne(n, c) {
+			remaining = append(remaining, c)
+		}
+	}
+	return remaining
+}
+
+// pushOne sinks a single conjunct as deep as possible. It reports whether
+// the conjunct was absorbed.
+func pushOne(n Node, c sql.Expr) bool {
+	switch x := n.(type) {
+	case *ScanNode:
+		if !compilesOver(c, x.Schema()) {
+			return false
+		}
+		if x.Filter == nil {
+			x.Filter = c
+		} else {
+			x.Filter = &sql.BinaryExpr{Op: sql.OpAnd, Left: x.Filter, Right: c}
+		}
+		return true
+
+	case *FilterNode:
+		if pushOne(x.Child, c) {
+			return true
+		}
+		if !compilesOver(c, x.Schema()) {
+			return false
+		}
+		x.Pred = &sql.BinaryExpr{Op: sql.OpAnd, Left: x.Pred, Right: c}
+		return true
+
+	case *JoinNode:
+		switch x.Kind {
+		case KindInner, KindCross:
+			if compilesOver(c, x.Left.Schema()) {
+				if !pushOne(x.Left, c) {
+					x.Left = &FilterNode{Child: x.Left, Pred: c}
+				}
+				return true
+			}
+			if compilesOver(c, x.Right.Schema()) {
+				if !pushOne(x.Right, c) {
+					x.Right = &FilterNode{Child: x.Right, Pred: c}
+				}
+				return true
+			}
+			// Cross-side predicate: attach to the join condition, which may
+			// convert a cross join into an inner join.
+			if compilesOver(c, x.Left.Schema().Concat(x.Right.Schema())) {
+				if x.On == nil {
+					x.On = c
+				} else {
+					x.On = &sql.BinaryExpr{Op: sql.OpAnd, Left: x.On, Right: c}
+				}
+				if x.Kind == KindCross {
+					x.Kind = KindInner
+				}
+				return true
+			}
+			return false
+
+		case KindLeft:
+			// Only left-side predicates are safe to push below a left join.
+			if compilesOver(c, x.Left.Schema()) {
+				if !pushOne(x.Left, c) {
+					x.Left = &FilterNode{Child: x.Left, Pred: c}
+				}
+				return true
+			}
+			return false
+
+		case KindSemi, KindAnti:
+			// Output is the left side; left-only predicates push down.
+			if compilesOver(c, x.Left.Schema()) {
+				if !pushOne(x.Left, c) {
+					x.Left = &FilterNode{Child: x.Left, Pred: c}
+				}
+				return true
+			}
+			return false
+		}
+		return false
+
+	case *DistinctNode:
+		return pushOne(x.Child, c)
+
+	default:
+		// Project/Aggregate/Sort/Limit: pushing through would require
+		// expression rewriting; the planner places filters below these
+		// nodes already, so stop here.
+		return false
+	}
+}
+
+// compilesOver reports whether e type-checks against schema. Note that a
+// reference ambiguous in a wider schema can become resolvable in a narrower
+// one; compilation is the authoritative test.
+func compilesOver(e sql.Expr, schema rel.Schema) bool {
+	_, err := expr.Compile(e, schema)
+	return err == nil
+}
+
+// ---- join key extraction ----
+
+func extractJoinKeys(n Node) Node {
+	replaceChildren(n, extractJoinKeys)
+	j, ok := n.(*JoinNode)
+	if !ok || j.On == nil || len(j.LeftKey) > 0 {
+		return n
+	}
+	var residual []sql.Expr
+	for _, c := range sql.SplitConjuncts(j.On) {
+		be, ok := c.(*sql.BinaryExpr)
+		if !ok || be.Op != sql.OpEq {
+			residual = append(residual, c)
+			continue
+		}
+		l, r := be.Left, be.Right
+		switch {
+		case compilesOver(l, j.Left.Schema()) && compilesOver(r, j.Right.Schema()):
+			j.LeftKey = append(j.LeftKey, l)
+			j.RightKey = append(j.RightKey, r)
+		case compilesOver(r, j.Left.Schema()) && compilesOver(l, j.Right.Schema()):
+			j.LeftKey = append(j.LeftKey, r)
+			j.RightKey = append(j.RightKey, l)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	j.Residual = sql.JoinConjuncts(residual)
+	return n
+}
+
+// ---- projection pruning ----
+
+// colID identifies a column by binding table and name.
+type colID struct{ table, name string }
+
+// pruneColumns walks the tree computing, for each scan, the set of columns
+// any ancestor consumes; needed == nil means "all columns".
+func pruneColumns(n Node, needed map[colID]bool) {
+	switch x := n.(type) {
+	case *ScanNode:
+		if needed == nil {
+			return
+		}
+		// The source must also see the columns its own pushed filter reads.
+		for _, ref := range refsOf(x.Filter, x.Schema()) {
+			needed[ref] = true
+		}
+		mask := make([]bool, x.Schema().Len())
+		for i, c := range x.Schema().Columns {
+			mask[i] = needed[colID{c.Table, c.Name}] || c.Key
+		}
+		x.Needed = mask
+
+	case *FilterNode:
+		child := addRefs(needed, x.Pred, x.Child.Schema())
+		pruneColumns(x.Child, child)
+
+	case *ProjectNode:
+		// A projection resets the requirement: only its expressions' refs
+		// matter below it.
+		child := map[colID]bool{}
+		for _, e := range x.Exprs {
+			for _, ref := range refsOf(e, x.Child.Schema()) {
+				child[ref] = true
+			}
+		}
+		pruneColumns(x.Child, child)
+
+	case *JoinNode:
+		left := cloneNeed(needed)
+		right := cloneNeed(needed)
+		for _, e := range x.LeftKey {
+			left = addRefs(left, e, x.Left.Schema())
+		}
+		for _, e := range x.RightKey {
+			right = addRefs(right, e, x.Right.Schema())
+		}
+		both := x.Left.Schema().Concat(x.Right.Schema())
+		for _, e := range []sql.Expr{x.On, x.Residual} {
+			if e == nil {
+				continue
+			}
+			for _, ref := range refsOf(e, both) {
+				if left != nil {
+					left[ref] = true
+				}
+				if right != nil {
+					right[ref] = true
+				}
+			}
+		}
+		if x.Kind == KindSemi || x.Kind == KindAnti {
+			// Right side only feeds the key.
+			if right != nil {
+				r2 := map[colID]bool{}
+				for _, e := range x.RightKey {
+					r2 = addRefs(r2, e, x.Right.Schema())
+				}
+				right = r2
+			}
+		}
+		pruneColumns(x.Left, left)
+		pruneColumns(x.Right, right)
+
+	case *AggregateNode:
+		child := map[colID]bool{}
+		for _, g := range x.GroupBy {
+			for _, ref := range refsOf(g, x.Child.Schema()) {
+				child[ref] = true
+			}
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				for _, ref := range refsOf(a.Arg, x.Child.Schema()) {
+					child[ref] = true
+				}
+			}
+		}
+		pruneColumns(x.Child, child)
+
+	case *SortNode:
+		pruneColumns(x.Child, needed)
+	case *LimitNode:
+		pruneColumns(x.Child, needed)
+	case *DistinctNode:
+		pruneColumns(x.Child, needed)
+	case *ValuesNode:
+		// nothing to prune
+	}
+}
+
+func cloneNeed(m map[colID]bool) map[colID]bool {
+	if m == nil {
+		return nil
+	}
+	out := make(map[colID]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// addRefs returns needed plus the refs of e resolved against schema; a nil
+// map stays nil ("all needed").
+func addRefs(needed map[colID]bool, e sql.Expr, schema rel.Schema) map[colID]bool {
+	if needed == nil {
+		return nil
+	}
+	out := cloneNeed(needed)
+	for _, ref := range refsOf(e, schema) {
+		out[ref] = true
+	}
+	return out
+}
+
+// refsOf resolves every column reference in e against schema and returns
+// the identities of the columns it touches.
+func refsOf(e sql.Expr, schema rel.Schema) []colID {
+	if e == nil {
+		return nil
+	}
+	var out []colID
+	for _, cr := range sql.ColumnRefs(e) {
+		if idx, err := schema.Resolve(cr.Table, cr.Name); err == nil {
+			c := schema.Col(idx)
+			out = append(out, colID{c.Table, c.Name})
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Name is the column name (lower-cased at creation for case-insensitive
+	// SQL resolution).
+	Name string
+	// Type is the declared data type.
+	Type DataType
+	// Table is the (alias-resolved) table the column belongs to; empty for
+	// derived columns.
+	Table string
+	// Key marks the column as part of the primary key. The LLM engine uses
+	// key columns to drive entity enumeration and row matching.
+	Key bool
+	// Desc is a short natural-language description used to verbalise the
+	// column in prompts ("population in millions of inhabitants").
+	Desc string
+}
+
+// QualifiedName returns table.name, or just name when the table is unknown.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns describing a relation.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema, lower-casing column and table names.
+func NewSchema(cols ...Column) Schema {
+	out := make([]Column, len(cols))
+	for i, c := range cols {
+		c.Name = strings.ToLower(c.Name)
+		c.Table = strings.ToLower(c.Table)
+		out[i] = c
+	}
+	return Schema{Columns: out}
+}
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Columns) }
+
+// Col returns the i'th column.
+func (s Schema) Col(i int) Column { return s.Columns[i] }
+
+// Resolve finds the index of a (possibly qualified) column reference.
+// It returns an error when the name is missing or ambiguous.
+func (s Schema) Resolve(table, name string) (int, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	found := -1
+	for i, c := range s.Columns {
+		if c.Name != name {
+			continue
+		}
+		if table != "" && c.Table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("rel: ambiguous column %q", qualified(table, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("rel: unknown column %q", qualified(table, name))
+	}
+	return found, nil
+}
+
+func qualified(table, name string) string {
+	if table == "" {
+		return name
+	}
+	return table + "." + name
+}
+
+// IndexOf returns the index of the first column with the given unqualified
+// name, or -1.
+func (s Schema) IndexOf(name string) int {
+	name = strings.ToLower(name)
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// KeyIndexes returns the positions of the primary-key columns, in schema
+// order. When no column is marked Key, it returns [0] as a pragmatic default
+// (first column identifies the entity), matching how virtual LLM tables are
+// declared.
+func (s Schema) KeyIndexes() []int {
+	var idx []int
+	for i, c := range s.Columns {
+		if c.Key {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 && len(s.Columns) > 0 {
+		return []int{0}
+	}
+	return idx
+}
+
+// Rename returns a copy of the schema with every column's table set to alias.
+func (s Schema) Rename(alias string) Schema {
+	alias = strings.ToLower(alias)
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	for i := range cols {
+		cols[i].Table = alias
+	}
+	return Schema{Columns: cols}
+}
+
+// Concat returns the schema of s ++ o (used by joins).
+func (s Schema) Concat(o Schema) Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(o.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, o.Columns...)
+	return Schema{Columns: cols}
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a INT, b TEXT)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is a tuple of values positionally aligned with a Schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns r ++ o as a new row.
+func (r Row) Concat(o Row) Row {
+	out := make(Row, 0, len(r)+len(o))
+	out = append(out, r...)
+	out = append(out, o...)
+	return out
+}
+
+// String renders the row as "(v1, v2, ...)".
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key renders the projection of r on the given indexes as a canonical string,
+// suitable for use as a map key in grouping, dedup and set comparison.
+func (r Row) Key(idx []int) string {
+	var b strings.Builder
+	for n, i := range idx {
+		if n > 0 {
+			b.WriteByte('\x1f')
+		}
+		v := r[i]
+		if v.IsNull() {
+			b.WriteString("\x00NULL")
+			continue
+		}
+		// Canonicalise numerics so 2 and 2.0 group together.
+		if v.Type().Numeric() {
+			b.WriteString(Float(v.AsFloat()).String())
+		} else if v.Type() == TypeText {
+			b.WriteString(strings.ToLower(strings.TrimSpace(v.AsText())))
+		} else {
+			b.WriteString(v.String())
+		}
+	}
+	return b.String()
+}
+
+// AllKey returns the canonical key over every column of the row.
+func (r Row) AllKey() string {
+	idx := make([]int, len(r))
+	for i := range idx {
+		idx[i] = i
+	}
+	return r.Key(idx)
+}

@@ -1,0 +1,126 @@
+package rel
+
+import "testing"
+
+func demoSchema() Schema {
+	return NewSchema(
+		Column{Name: "Name", Type: TypeText, Table: "Country", Key: true},
+		Column{Name: "capital", Type: TypeText, Table: "country"},
+		Column{Name: "population", Type: TypeInt, Table: "country"},
+	)
+}
+
+func TestNewSchemaLowercases(t *testing.T) {
+	s := demoSchema()
+	if s.Col(0).Name != "name" || s.Col(0).Table != "country" {
+		t.Fatalf("lowercasing failed: %+v", s.Col(0))
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := demoSchema()
+	i, err := s.Resolve("", "capital")
+	if err != nil || i != 1 {
+		t.Fatalf("resolve capital: %d %v", i, err)
+	}
+	i, err = s.Resolve("country", "POPULATION")
+	if err != nil || i != 2 {
+		t.Fatalf("resolve qualified: %d %v", i, err)
+	}
+	if _, err := s.Resolve("", "missing"); err == nil {
+		t.Fatal("want error for missing column")
+	}
+	if _, err := s.Resolve("other", "name"); err == nil {
+		t.Fatal("want error for wrong table")
+	}
+}
+
+func TestResolveAmbiguous(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "id", Table: "a", Type: TypeInt},
+		Column{Name: "id", Table: "b", Type: TypeInt},
+	)
+	if _, err := s.Resolve("", "id"); err == nil {
+		t.Fatal("ambiguous reference must error")
+	}
+	if i, err := s.Resolve("b", "id"); err != nil || i != 1 {
+		t.Fatalf("qualified disambiguation: %d %v", i, err)
+	}
+}
+
+func TestKeyIndexes(t *testing.T) {
+	s := demoSchema()
+	k := s.KeyIndexes()
+	if len(k) != 1 || k[0] != 0 {
+		t.Fatalf("key indexes: %v", k)
+	}
+	noKey := NewSchema(
+		Column{Name: "a", Type: TypeInt},
+		Column{Name: "b", Type: TypeInt},
+	)
+	k = noKey.KeyIndexes()
+	if len(k) != 1 || k[0] != 0 {
+		t.Fatalf("default key must be [0], got %v", k)
+	}
+}
+
+func TestRenameAndConcat(t *testing.T) {
+	s := demoSchema().Rename("c")
+	for _, c := range s.Columns {
+		if c.Table != "c" {
+			t.Fatalf("rename failed: %+v", c)
+		}
+	}
+	both := s.Concat(demoSchema())
+	if both.Len() != 6 {
+		t.Fatalf("concat len: %d", both.Len())
+	}
+	// original untouched
+	if demoSchema().Col(0).Table != "country" {
+		t.Fatal("Rename must not mutate the original")
+	}
+}
+
+func TestRowKeyCanonicalisation(t *testing.T) {
+	r1 := Row{Text("France"), Int(68)}
+	r2 := Row{Text("  france "), Float(68.0)}
+	if r1.AllKey() != r2.AllKey() {
+		t.Fatalf("canonical keys differ: %q vs %q", r1.AllKey(), r2.AllKey())
+	}
+	r3 := Row{Text("France"), Int(69)}
+	if r1.AllKey() == r3.AllKey() {
+		t.Fatal("distinct rows must get distinct keys")
+	}
+	withNull := Row{Null(), Int(1)}
+	if withNull.Key([]int{0}) != (Row{NullOf(TypeText), Int(2)}).Key([]int{0}) {
+		t.Fatal("nulls must share a key")
+	}
+}
+
+func TestRowCloneConcat(t *testing.T) {
+	r := Row{Int(1), Int(2)}
+	c := r.Clone()
+	c[0] = Int(9)
+	if r[0].AsInt() != 1 {
+		t.Fatal("clone aliases original")
+	}
+	j := r.Concat(Row{Int(3)})
+	if len(j) != 3 || j[2].AsInt() != 3 {
+		t.Fatalf("concat: %v", j)
+	}
+}
+
+func TestSchemaStringAndNames(t *testing.T) {
+	s := demoSchema()
+	want := "(country.name TEXT, country.capital TEXT, country.population INT)"
+	if got := s.String(); got != want {
+		t.Fatalf("String() = %q", got)
+	}
+	n := s.Names()
+	if len(n) != 3 || n[2] != "population" {
+		t.Fatalf("names: %v", n)
+	}
+	if s.IndexOf("CAPITAL") != 1 || s.IndexOf("zz") != -1 {
+		t.Fatal("IndexOf failed")
+	}
+}

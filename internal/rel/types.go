@@ -1,0 +1,100 @@
+// Package rel provides the relational kernel shared by every layer of the
+// engine: data types, typed values with SQL three-valued-logic comparisons,
+// rows, and relation schemas.
+package rel
+
+import "fmt"
+
+// DataType enumerates the column types supported by the engine.
+type DataType int
+
+const (
+	// TypeUnknown is the zero value; it appears only transiently during
+	// planning before types are resolved.
+	TypeUnknown DataType = iota
+	// TypeBool is a SQL BOOLEAN.
+	TypeBool
+	// TypeInt is a 64-bit signed integer (SQL INTEGER/BIGINT).
+	TypeInt
+	// TypeFloat is a 64-bit IEEE float (SQL DOUBLE/REAL).
+	TypeFloat
+	// TypeText is a variable-length UTF-8 string (SQL TEXT/VARCHAR).
+	TypeText
+)
+
+// String returns the SQL spelling of the type.
+func (t DataType) String() string {
+	switch t {
+	case TypeBool:
+		return "BOOL"
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeText:
+		return "TEXT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseDataType maps a SQL type name (case-insensitive) to a DataType.
+// It accepts the common aliases so that schemas written by hand parse
+// naturally.
+func ParseDataType(name string) (DataType, error) {
+	switch normalizeTypeName(name) {
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return TypeFloat, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return TypeText, nil
+	default:
+		return TypeUnknown, fmt.Errorf("rel: unknown data type %q", name)
+	}
+}
+
+func normalizeTypeName(name string) string {
+	b := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '(' { // strip length suffix as in VARCHAR(30)
+			break
+		}
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// Numeric reports whether t is an arithmetic type.
+func (t DataType) Numeric() bool { return t == TypeInt || t == TypeFloat }
+
+// CommonType returns the type that both a and b can be coerced to for
+// comparison or arithmetic, following the usual SQL promotion rules
+// (INT + FLOAT -> FLOAT). It returns TypeUnknown when the types are
+// incompatible.
+func CommonType(a, b DataType) DataType {
+	if a == b {
+		return a
+	}
+	if a == TypeUnknown {
+		return b
+	}
+	if b == TypeUnknown {
+		return a
+	}
+	if a.Numeric() && b.Numeric() {
+		return TypeFloat
+	}
+	// Text compares with anything by coercing the other side to text; this
+	// mirrors the lenient behaviour needed when rows come from an LLM.
+	if a == TypeText || b == TypeText {
+		return TypeText
+	}
+	return TypeUnknown
+}

@@ -1,0 +1,424 @@
+package rel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is a typed SQL value. The zero Value is NULL.
+//
+// Value is a small immutable struct passed by value; rows are []Value.
+type Value struct {
+	typ DataType
+	// null is folded into typ==TypeUnknown-with-notNull=false? No: we keep
+	// an explicit flag so NULLs retain their declared type where known.
+	notNull bool
+	i       int64
+	f       float64
+	s       string
+	b       bool
+}
+
+// Null returns the untyped NULL value.
+func Null() Value { return Value{} }
+
+// NullOf returns a NULL that remembers its column type.
+func NullOf(t DataType) Value { return Value{typ: t} }
+
+// Int returns an INT value.
+func Int(v int64) Value { return Value{typ: TypeInt, notNull: true, i: v} }
+
+// Float returns a FLOAT value.
+func Float(v float64) Value { return Value{typ: TypeFloat, notNull: true, f: v} }
+
+// Text returns a TEXT value.
+func Text(v string) Value { return Value{typ: TypeText, notNull: true, s: v} }
+
+// Bool returns a BOOL value.
+func Bool(v bool) Value { return Value{typ: TypeBool, notNull: true, b: v} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return !v.notNull }
+
+// Type returns the value's data type (the declared type for typed NULLs,
+// TypeUnknown for the bare NULL).
+func (v Value) Type() DataType { return v.typ }
+
+// AsInt returns the value as int64. Callers must ensure the type.
+func (v Value) AsInt() int64 {
+	if v.typ == TypeFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// AsFloat returns the value as float64, promoting INT.
+func (v Value) AsFloat() float64 {
+	if v.typ == TypeInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsText returns the value as string. For non-text values it renders them.
+func (v Value) AsText() string {
+	if v.typ == TypeText {
+		return v.s
+	}
+	return v.String()
+}
+
+// AsBool returns the value as bool.
+func (v Value) AsBool() bool { return v.b }
+
+// String renders the value for display. NULL renders as "NULL".
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.typ {
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeText:
+		return v.s
+	case TypeBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal: text quoted and escaped,
+// and FLOAT values always spelled with a decimal point (116.0, not 116) so
+// that reparsing preserves the type.
+func (v Value) SQLLiteral() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.typ {
+	case TypeText:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case TypeFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && !math.IsNaN(v.f) && math.Abs(v.f) < 1e15 {
+			return strconv.FormatFloat(v.f, 'f', 1, 64)
+		}
+		return v.String()
+	default:
+		return v.String()
+	}
+}
+
+// Tristate is the result of a three-valued-logic predicate.
+type Tristate int
+
+const (
+	// False is SQL FALSE.
+	False Tristate = iota
+	// True is SQL TRUE.
+	True
+	// Unknown is SQL UNKNOWN (comparison involving NULL).
+	Unknown
+)
+
+// ToValue converts a Tristate to a BOOL Value (Unknown -> NULL).
+func (t Tristate) ToValue() Value {
+	switch t {
+	case True:
+		return Bool(true)
+	case False:
+		return Bool(false)
+	default:
+		return NullOf(TypeBool)
+	}
+}
+
+// TristateOf converts a BOOL Value to a Tristate (NULL -> Unknown).
+func TristateOf(v Value) Tristate {
+	if v.IsNull() {
+		return Unknown
+	}
+	if v.AsBool() {
+		return True
+	}
+	return False
+}
+
+// And implements 3VL conjunction.
+func (t Tristate) And(o Tristate) Tristate {
+	if t == False || o == False {
+		return False
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or implements 3VL disjunction.
+func (t Tristate) Or(o Tristate) Tristate {
+	if t == True || o == True {
+		return True
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not implements 3VL negation.
+func (t Tristate) Not() Tristate {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Compare compares two values with SQL semantics. It returns
+// (ordering, Unknown-ness): if either side is NULL the Tristate is Unknown
+// and the ordering is unspecified. Values of different numeric types are
+// promoted; numbers never equal text unless the text parses as that number.
+func Compare(a, b Value) (int, Tristate) {
+	if a.IsNull() || b.IsNull() {
+		return 0, Unknown
+	}
+	ct := CommonType(a.typ, b.typ)
+	switch ct {
+	case TypeInt:
+		return cmpInt(a.AsInt(), b.AsInt()), True
+	case TypeFloat:
+		return cmpFloat(a.AsFloat(), b.AsFloat()), True
+	case TypeBool:
+		av, bv := 0, 0
+		if a.b {
+			av = 1
+		}
+		if b.b {
+			bv = 1
+		}
+		return cmpInt(int64(av), int64(bv)), True
+	case TypeText:
+		// If one side is numeric, try to compare numerically: the lenient
+		// path used for LLM-derived text values like "1200".
+		if a.typ.Numeric() || b.typ.Numeric() {
+			af, aok := toFloat(a)
+			bf, bok := toFloat(b)
+			if aok && bok {
+				return cmpFloat(af, bf), True
+			}
+		}
+		return strings.Compare(a.AsText(), b.AsText()), True
+	default:
+		return 0, Unknown
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch v.typ {
+	case TypeInt:
+		return float64(v.i), true
+	case TypeFloat:
+		return v.f, true
+	case TypeText:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values are equal under SQL semantics, treating
+// NULL = NULL as false (use IdenticalTo for grouping semantics).
+func Equal(a, b Value) bool {
+	c, t := Compare(a, b)
+	return t == True && c == 0
+}
+
+// IdenticalTo reports whether two values are indistinguishable, with
+// NULL identical to NULL — the semantics used by GROUP BY and DISTINCT.
+func (v Value) IdenticalTo(o Value) bool {
+	if v.IsNull() && o.IsNull() {
+		return true
+	}
+	if v.IsNull() != o.IsNull() {
+		return false
+	}
+	c, t := Compare(v, o)
+	return t == True && c == 0
+}
+
+// Hash returns a hash consistent with IdenticalTo: identical values hash
+// equally (numeric 2 and 2.0 collide on purpose).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	if v.IsNull() {
+		h.Write([]byte{0})
+		return h.Sum64()
+	}
+	switch v.typ {
+	case TypeInt, TypeFloat:
+		f := v.AsFloat()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) {
+			// Canonicalise integral floats so 2 and 2.0 hash alike.
+			var buf [9]byte
+			buf[0] = 1
+			u := uint64(int64(f))
+			for i := 0; i < 8; i++ {
+				buf[1+i] = byte(u >> (8 * i))
+			}
+			h.Write(buf[:])
+		} else {
+			var buf [9]byte
+			buf[0] = 2
+			u := math.Float64bits(f)
+			for i := 0; i < 8; i++ {
+				buf[1+i] = byte(u >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	case TypeText:
+		h.Write([]byte{3})
+		h.Write([]byte(v.s))
+	case TypeBool:
+		if v.b {
+			h.Write([]byte{4, 1})
+		} else {
+			h.Write([]byte{4, 0})
+		}
+	}
+	return h.Sum64()
+}
+
+// Coerce converts v to type t when a sensible conversion exists, otherwise
+// returns an error. NULL coerces to a typed NULL of t.
+func Coerce(v Value, t DataType) (Value, error) {
+	if v.IsNull() {
+		return NullOf(t), nil
+	}
+	if v.typ == t || t == TypeUnknown {
+		return v, nil
+	}
+	switch t {
+	case TypeInt:
+		switch v.typ {
+		case TypeFloat:
+			return Int(int64(math.Round(v.f))), nil
+		case TypeText:
+			if n, err := parseLooseInt(v.s); err == nil {
+				return Int(n), nil
+			}
+			return Value{}, fmt.Errorf("rel: cannot coerce %q to INT", v.s)
+		case TypeBool:
+			if v.b {
+				return Int(1), nil
+			}
+			return Int(0), nil
+		}
+	case TypeFloat:
+		switch v.typ {
+		case TypeInt:
+			return Float(float64(v.i)), nil
+		case TypeText:
+			if f, err := parseLooseFloat(v.s); err == nil {
+				return Float(f), nil
+			}
+			return Value{}, fmt.Errorf("rel: cannot coerce %q to FLOAT", v.s)
+		case TypeBool:
+			if v.b {
+				return Float(1), nil
+			}
+			return Float(0), nil
+		}
+	case TypeText:
+		return Text(v.String()), nil
+	case TypeBool:
+		switch v.typ {
+		case TypeInt:
+			return Bool(v.i != 0), nil
+		case TypeFloat:
+			return Bool(v.f != 0), nil
+		case TypeText:
+			switch strings.ToUpper(strings.TrimSpace(v.s)) {
+			case "TRUE", "T", "YES", "Y", "1":
+				return Bool(true), nil
+			case "FALSE", "F", "NO", "N", "0":
+				return Bool(false), nil
+			}
+			return Value{}, fmt.Errorf("rel: cannot coerce %q to BOOL", v.s)
+		}
+	}
+	return Value{}, fmt.Errorf("rel: cannot coerce %s to %s", v.typ, t)
+}
+
+// parseLooseInt parses integers with thousands separators ("1,234,567") and
+// falls back to rounding float spellings ("3.0", "1.2e3").
+func parseLooseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, ",", "")
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && f == math.Trunc(f) {
+		return int64(f), nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// parseLooseFloat parses floats with thousands separators.
+func parseLooseFloat(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, ",", "")
+	return strconv.ParseFloat(s, 64)
+}
+
+// ParseTyped parses raw text into a Value of the requested type using the
+// loose rules (thousand separators etc.). Empty string parses as NULL for
+// non-text types.
+func ParseTyped(s string, t DataType) (Value, error) {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" && t != TypeText {
+		return NullOf(t), nil
+	}
+	if strings.EqualFold(trimmed, "null") || trimmed == "-" || strings.EqualFold(trimmed, "n/a") || strings.EqualFold(trimmed, "unknown") {
+		return NullOf(t), nil
+	}
+	switch t {
+	case TypeText:
+		return Text(trimmed), nil
+	default:
+		return Coerce(Text(trimmed), t)
+	}
+}

@@ -1,0 +1,398 @@
+package sql
+
+import (
+	"llmsql/internal/rel"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression node.
+type Expr interface{ expr() }
+
+// TableExpr is a FROM-clause item.
+type TableExpr interface{ tableExpr() }
+
+// ---- Statements ----
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableExpr // nil means a FROM-less SELECT (constant query)
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // integer literal or nil
+	Offset   Expr // integer literal or nil
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	// Star is true for "*" or "t.*"; StarTable holds t when qualified.
+	Star      bool
+	StarTable string
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateTableStmt declares a table.
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       rel.DataType
+	PrimaryKey bool
+}
+
+// InsertStmt inserts literal rows.
+type InsertStmt struct {
+	Table   string
+	Columns []string // optional; empty means positional
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// ExplainStmt wraps a SELECT for plan display.
+type ExplainStmt struct {
+	Stmt *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// ---- Table expressions ----
+
+// JoinType enumerates supported join types.
+type JoinType int
+
+const (
+	// JoinInner is INNER JOIN (and the implicit comma/cross join with an ON
+	// predicate supplied via WHERE).
+	JoinInner JoinType = iota
+	// JoinLeft is LEFT OUTER JOIN.
+	JoinLeft
+	// JoinCross is CROSS JOIN (no predicate).
+	JoinCross
+)
+
+func (j JoinType) String() string {
+	switch j {
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// TableRef names a base (or virtual) table, optionally aliased.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (*TableRef) tableExpr() {}
+
+// Binding returns the name the table is known by in the query.
+func (t *TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinExpr combines two table expressions.
+type JoinExpr struct {
+	Type  JoinType
+	Left  TableExpr
+	Right TableExpr
+	On    Expr // nil for CROSS JOIN
+}
+
+func (*JoinExpr) tableExpr() {}
+
+// SubqueryRef is a derived table: (SELECT ...) AS alias.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*SubqueryRef) tableExpr() {}
+
+// ---- Expressions ----
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+const (
+	// OpOr etc. follow SQL spelling; see String.
+	OpOr BinaryOp = iota
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat
+)
+
+func (op BinaryOp) String() string {
+	switch op {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpConcat:
+		return "||"
+	default:
+		return "?"
+	}
+}
+
+// ColumnRef references a column, optionally qualified by table/alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+func (*ColumnRef) expr() {}
+
+// Literal is a constant value.
+type Literal struct {
+	Value rel.Value
+}
+
+func (*Literal) expr() {}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op    BinaryOp
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	// Op is "NOT" or "-".
+	Op string
+	X  Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// FuncCall is a scalar or aggregate function call.
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+func (*FuncCall) expr() {}
+
+// IsNullExpr is "x IS [NOT] NULL".
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// InExpr is "x [NOT] IN (list)" or "x [NOT] IN (SELECT ...)".
+type InExpr struct {
+	X        Expr
+	List     []Expr
+	Subquery *SelectStmt
+	Not      bool
+}
+
+func (*InExpr) expr() {}
+
+// BetweenExpr is "x [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	X   Expr
+	Lo  Expr
+	Hi  Expr
+	Not bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// LikeExpr is "x [NOT] LIKE pattern".
+type LikeExpr struct {
+	X       Expr
+	Pattern Expr
+	Not     bool
+}
+
+func (*LikeExpr) expr() {}
+
+// WhenClause is one WHEN ... THEN ... arm of a CASE.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched or simple CASE expression.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil means NULL
+}
+
+func (*CaseExpr) expr() {}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	X    Expr
+	Type rel.DataType
+}
+
+func (*CastExpr) expr() {}
+
+// AggregateFuncs is the set of supported aggregate function names.
+var AggregateFuncs = map[string]bool{
+	"COUNT": true,
+	"SUM":   true,
+	"AVG":   true,
+	"MIN":   true,
+	"MAX":   true,
+}
+
+// ContainsAggregate reports whether e contains an aggregate function call.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && AggregateFuncs[f.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// WalkExpr visits e and its children in preorder. The visitor returns false
+// to prune descent.
+func WalkExpr(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.Left, visit)
+		WalkExpr(x.Right, visit)
+	case *UnaryExpr:
+		WalkExpr(x.X, visit)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, visit)
+		}
+	case *IsNullExpr:
+		WalkExpr(x.X, visit)
+	case *InExpr:
+		WalkExpr(x.X, visit)
+		for _, a := range x.List {
+			WalkExpr(a, visit)
+		}
+	case *BetweenExpr:
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Lo, visit)
+		WalkExpr(x.Hi, visit)
+	case *LikeExpr:
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Pattern, visit)
+	case *CaseExpr:
+		WalkExpr(x.Operand, visit)
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, visit)
+			WalkExpr(w.Then, visit)
+		}
+		WalkExpr(x.Else, visit)
+	case *CastExpr:
+		WalkExpr(x.X, visit)
+	}
+}
+
+// ColumnRefs returns every column reference in e, in visit order.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var refs []*ColumnRef
+	WalkExpr(e, func(x Expr) bool {
+		if c, ok := x.(*ColumnRef); ok {
+			refs = append(refs, c)
+		}
+		return true
+	})
+	return refs
+}
+
+// SplitConjuncts flattens a tree of ANDs into its conjunct list.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.Left), SplitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// JoinConjuncts rebuilds an AND tree from conjuncts (nil for empty input).
+func JoinConjuncts(list []Expr) Expr {
+	var out Expr
+	for _, e := range list {
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, Left: out, Right: e}
+		}
+	}
+	return out
+}

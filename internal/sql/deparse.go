@@ -1,0 +1,343 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Deparse renders an expression back to SQL text. Parsing the result yields
+// an equivalent AST (round-trip property tested in deparse_test.go).
+func Deparse(e Expr) string {
+	var b strings.Builder
+	deparseExpr(&b, e)
+	return b.String()
+}
+
+// DeparseStmt renders a statement back to SQL text.
+func DeparseStmt(s Statement) string {
+	var b strings.Builder
+	switch st := s.(type) {
+	case *SelectStmt:
+		deparseSelect(&b, st)
+	case *CreateTableStmt:
+		b.WriteString("CREATE TABLE ")
+		b.WriteString(st.Name)
+		b.WriteString(" (")
+		for i, c := range st.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Name)
+			b.WriteByte(' ')
+			b.WriteString(c.Type.String())
+			if c.PrimaryKey {
+				b.WriteString(" PRIMARY KEY")
+			}
+		}
+		b.WriteByte(')')
+	case *InsertStmt:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(st.Table)
+		if len(st.Columns) > 0 {
+			b.WriteString(" (")
+			b.WriteString(strings.Join(st.Columns, ", "))
+			b.WriteByte(')')
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range st.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteByte('(')
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				deparseExpr(&b, e)
+			}
+			b.WriteByte(')')
+		}
+	case *ExplainStmt:
+		b.WriteString("EXPLAIN ")
+		deparseSelect(&b, st.Stmt)
+	}
+	return b.String()
+}
+
+func deparseSelect(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if item.Star {
+			if item.StarTable != "" {
+				b.WriteString(item.StarTable)
+				b.WriteByte('.')
+			}
+			b.WriteByte('*')
+			continue
+		}
+		deparseExpr(b, item.Expr)
+		if item.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(item.Alias)
+		}
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		deparseTable(b, s.From)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		deparseExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			deparseExpr(b, e)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		deparseExpr(b, s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			deparseExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		deparseExpr(b, s.Limit)
+	}
+	if s.Offset != nil {
+		b.WriteString(" OFFSET ")
+		deparseExpr(b, s.Offset)
+	}
+}
+
+func deparseTable(b *strings.Builder, t TableExpr) {
+	switch tt := t.(type) {
+	case *TableRef:
+		b.WriteString(tt.Name)
+		if tt.Alias != "" && tt.Alias != tt.Name {
+			b.WriteString(" AS ")
+			b.WriteString(tt.Alias)
+		}
+	case *JoinExpr:
+		deparseTable(b, tt.Left)
+		b.WriteByte(' ')
+		b.WriteString(tt.Type.String())
+		b.WriteByte(' ')
+		if _, nested := tt.Right.(*JoinExpr); nested {
+			b.WriteByte('(')
+			deparseTable(b, tt.Right)
+			b.WriteByte(')')
+		} else {
+			deparseTable(b, tt.Right)
+		}
+		if tt.On != nil {
+			b.WriteString(" ON ")
+			deparseExpr(b, tt.On)
+		}
+	case *SubqueryRef:
+		b.WriteByte('(')
+		deparseSelect(b, tt.Select)
+		b.WriteString(") AS ")
+		b.WriteString(tt.Alias)
+	}
+}
+
+func deparseExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Literal:
+		b.WriteString(x.Value.SQLLiteral())
+	case *ColumnRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Name)
+	case *BinaryExpr:
+		deparseChild(b, x.Left, precOf(x.Op), true)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		deparseChild(b, x.Right, precOf(x.Op), false)
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			b.WriteString("NOT ")
+		} else {
+			b.WriteString(x.Op)
+		}
+		if inner, ok := x.X.(*BinaryExpr); ok {
+			_ = inner
+			b.WriteByte('(')
+			deparseExpr(b, x.X)
+			b.WriteByte(')')
+		} else {
+			deparseExpr(b, x.X)
+		}
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				deparseExpr(b, a)
+			}
+		}
+		b.WriteByte(')')
+	case *IsNullExpr:
+		deparseWithMinPrec(b, x.X, 3)
+		if x.Not {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+	case *InExpr:
+		deparseWithMinPrec(b, x.X, 3)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Subquery != nil {
+			deparseSelect(b, x.Subquery)
+		} else {
+			for i, a := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				deparseExpr(b, a)
+			}
+		}
+		b.WriteByte(')')
+	case *BetweenExpr:
+		deparseWithMinPrec(b, x.X, 3)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		deparseWithMinPrec(b, x.Lo, 4)
+		b.WriteString(" AND ")
+		deparseWithMinPrec(b, x.Hi, 4)
+	case *LikeExpr:
+		deparseWithMinPrec(b, x.X, 3)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		deparseWithMinPrec(b, x.Pattern, 4)
+	case *CaseExpr:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteByte(' ')
+			deparseExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			deparseExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			deparseExpr(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			deparseExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *CastExpr:
+		b.WriteString("CAST(")
+		deparseExpr(b, x.X)
+		b.WriteString(" AS ")
+		b.WriteString(x.Type.String())
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<?expr %T>", e)
+	}
+}
+
+// precOf assigns a precedence level to binary operators for minimal
+// parenthesisation in deparsed output.
+func precOf(op BinaryOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub, OpConcat:
+		return 4
+	case OpMul, OpDiv, OpMod:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// exprPrec returns the effective parse precedence of an expression when it
+// appears as an operand: primaries are 100, postfix predicates parse at
+// comparison level (3), NOT between AND and comparisons (2).
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return precOf(x.Op)
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return 2
+		}
+		return 100
+	case *IsNullExpr, *InExpr, *BetweenExpr, *LikeExpr:
+		return 3
+	default:
+		return 100
+	}
+}
+
+// deparseChild writes a child of a binary expression, adding parentheses
+// when the child binds more loosely than the parent (or equally, on the
+// right side, to preserve left associativity).
+func deparseChild(b *strings.Builder, e Expr, parentPrec int, isLeft bool) {
+	childPrec := exprPrec(e)
+	need := childPrec < parentPrec || (childPrec == parentPrec && !isLeft)
+	if need {
+		b.WriteByte('(')
+		deparseExpr(b, e)
+		b.WriteByte(')')
+	} else {
+		deparseExpr(b, e)
+	}
+}
+
+// deparseWithMinPrec writes an operand that the parser reads at the given
+// precedence level, parenthesising looser-binding expressions.
+func deparseWithMinPrec(b *strings.Builder, e Expr, minPrec int) {
+	if exprPrec(e) < minPrec {
+		b.WriteByte('(')
+		deparseExpr(b, e)
+		b.WriteByte(')')
+		return
+	}
+	deparseExpr(b, e)
+}

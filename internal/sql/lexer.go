@@ -1,0 +1,241 @@
+// Package sql implements the SQL front end: a hand-written lexer, the
+// abstract syntax tree, a recursive-descent parser for the SELECT dialect the
+// engine supports, and a deparser that renders AST fragments back to SQL text
+// (used both for EXPLAIN output and for verbalising predicates into LLM
+// prompts).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (keywords are resolved by the
+	// parser; Upper holds the upper-cased spelling for keyword matching).
+	TokIdent
+	// TokString is a single-quoted string literal with quotes removed and
+	// doubled quotes collapsed.
+	TokString
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokSymbol is punctuation or an operator: ( ) , . * + - / % = <> != < <= > >= ||
+	TokSymbol
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	// Text is the literal text (for TokString, the unescaped contents).
+	Text string
+	// Upper caches strings.ToUpper(Text) for identifiers.
+	Upper string
+	// Pos is the byte offset of the token start, used in error messages.
+	Pos int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return "'" + t.Text + "'"
+	default:
+		return t.Text
+	}
+}
+
+// Lexer turns SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Tokenize scans the whole input, returning the token stream terminated by a
+// TokEOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		return l.lexIdent(start), nil
+	case c == '"':
+		return l.lexQuotedIdent(start)
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start), nil
+	case c == '.':
+		// ".5" is a number; "." alone is a symbol.
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber(start), nil
+		}
+		l.pos++
+		return Token{Kind: TokSymbol, Text: ".", Pos: start}, nil
+	case c == '\'':
+		return l.lexString(start)
+	default:
+		return l.lexSymbol(start)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			if l.pos+1 < len(l.src) {
+				l.pos += 2
+			} else {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) lexIdent(start int) Token {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	return Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: start}
+}
+
+func (l *Lexer) lexQuotedIdent(start int) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				b.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			text := b.String()
+			return Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+}
+
+func (l *Lexer) lexNumber(start int) Token {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			// Accept exponent with optional sign when followed by a digit.
+			next := l.pos + 1
+			if next < len(l.src) && (l.src[next] == '+' || l.src[next] == '-') {
+				next++
+			}
+			if next < len(l.src) && isDigit(l.src[next]) {
+				seenExp = true
+				l.pos = next + 1
+			} else {
+				return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+			}
+		default:
+			return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+		}
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+}
+
+func (l *Lexer) lexString(start int) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+// twoCharSymbols lists operators spelled with two characters; order matters
+// only in that they are checked before single characters.
+var twoCharSymbols = []string{"<>", "!=", "<=", ">=", "||"}
+
+func (l *Lexer) lexSymbol(start int) (Token, error) {
+	rest := l.src[l.pos:]
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(rest, s) {
+			l.pos += len(s)
+			return Token{Kind: TokSymbol, Text: s, Pos: start}, nil
+		}
+	}
+	switch rest[0] {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', ';':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(rest[0]), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", rest[0], start)
+}

@@ -1,0 +1,137 @@
+package sql
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT a, b FROM t WHERE x >= 10.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "a", ",", "b", "FROM", "t", "WHERE", "x", ">=", "10.5", "<eof>"}
+	if len(toks) != len(want) {
+		t.Fatalf("token count %d want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want[:len(want)-1] {
+		if toks[i].Text != w {
+			t.Errorf("tok[%d] = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks, err := Tokenize("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "it's" {
+		t.Fatalf("string token: %+v", toks[0])
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestTokenizeQuotedIdent(t *testing.T) {
+	toks, err := Tokenize(`"Weird ""Name"""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != `Weird "Name"` {
+		t.Fatalf("quoted ident: %+v", toks[0])
+	}
+	if _, err := Tokenize(`"open`); err == nil {
+		t.Fatal("expected error for unterminated quoted ident")
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a -- comment\n b /* block\ncomment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind != TokEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	if len(texts) != 3 || texts[0] != "a" || texts[1] != "b" || texts[2] != "c" {
+		t.Fatalf("comment skipping: %v", texts)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"3.14":   "3.14",
+		".5":     ".5",
+		"1e9":    "1e9",
+		"2.5e-3": "2.5e-3",
+	}
+	for in, want := range cases {
+		toks, err := Tokenize(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("%q -> %+v, want number %q", in, toks[0], want)
+		}
+	}
+	// "1e" is number 1 followed by ident e.
+	toks, err := Tokenize("1e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "1" || toks[1].Text != "e" {
+		t.Fatalf("1e split: %v", toks)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("a<>b!=c<=d>=e||f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSyms := []string{"<>", "!=", "<=", ">=", "||"}
+	got := []string{}
+	for _, tok := range toks {
+		if tok.Kind == TokSymbol {
+			got = append(got, tok.Text)
+		}
+	}
+	if len(got) != len(wantSyms) {
+		t.Fatalf("symbols: %v", got)
+	}
+	for i := range got {
+		if got[i] != wantSyms[i] {
+			t.Errorf("sym[%d] = %q want %q", i, got[i], wantSyms[i])
+		}
+	}
+}
+
+func TestTokenizeBadChar(t *testing.T) {
+	if _, err := Tokenize("a @ b"); err == nil {
+		t.Fatal("expected error for @")
+	}
+}
+
+func TestTokenizeDotAccess(t *testing.T) {
+	toks, err := Tokenize("t.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds(toks)) != 4 || toks[1].Text != "." {
+		t.Fatalf("dot access: %v", toks)
+	}
+}

@@ -1,0 +1,970 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"llmsql/internal/rel"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single SQL statement (trailing semicolon optional).
+func Parse(src string) (Statement, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().String())
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by tests and tools).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().String())
+	}
+	return e, nil
+}
+
+// ---- token helpers ----
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// peekKeyword reports whether the next token is the given keyword.
+func (p *Parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && t.Upper == kw
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.peek().String())
+	}
+	return nil
+}
+
+func (p *Parser) peekSymbol(sym string) bool {
+	t := p.peek()
+	return t.Kind == TokSymbol && t.Text == sym
+}
+
+func (p *Parser) acceptSymbol(sym string) bool {
+	if p.peekSymbol(sym) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errorf("expected %q, found %q", sym, p.peek().String())
+	}
+	return nil
+}
+
+// reservedAfterTable lists keywords that terminate alias positions: an
+// unquoted identifier in alias position must not be one of these.
+var reservedAfterTable = map[string]bool{
+	"WHERE": true, "GROUP": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"OFFSET": true, "JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"CROSS": true, "ON": true, "AS": true, "UNION": true, "FROM": true,
+	"AND": true, "OR": true, "NOT": true, "SELECT": true, "SET": true,
+	"DESC": true, "ASC": true, "BY": true, "OUTER": true, "FULL": true,
+	"VALUES": true,
+}
+
+func (p *Parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected identifier, found %q", t.String())
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+// ---- statements ----
+
+func (p *Parser) parseStatement() (Statement, error) {
+	switch {
+	case p.peekKeyword("SELECT"):
+		return p.parseSelect()
+	case p.peekKeyword("CREATE"):
+		return p.parseCreateTable()
+	case p.peekKeyword("INSERT"):
+		return p.parseInsert()
+	case p.peekKeyword("EXPLAIN"):
+		p.advance()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: sel}, nil
+	default:
+		return nil, p.errorf("expected SELECT, CREATE, INSERT or EXPLAIN, found %q", p.peek().String())
+	}
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+	}
+	if p.acceptKeyword("OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = e
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	// "*"
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// "t.*"
+	if p.peek().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+		tbl := p.advance().Text
+		p.advance() // .
+		p.advance() // *
+		return SelectItem{Star: true, StarTable: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if t := p.peek(); t.Kind == TokIdent && !reservedAfterTable[t.Upper] {
+		p.advance()
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol(","):
+			right, err := p.parseTablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinExpr{Type: JoinCross, Left: left, Right: right}
+		case p.peekKeyword("JOIN") || p.peekKeyword("INNER") || p.peekKeyword("LEFT") || p.peekKeyword("CROSS"):
+			jt := JoinInner
+			if p.acceptKeyword("LEFT") {
+				p.acceptKeyword("OUTER")
+				jt = JoinLeft
+			} else if p.acceptKeyword("CROSS") {
+				jt = JoinCross
+			} else {
+				p.acceptKeyword("INNER")
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseTablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			join := &JoinExpr{Type: jt, Left: left, Right: right}
+			if jt != JoinCross {
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				join.On = on
+			}
+			left = join
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseTablePrimary() (TableExpr, error) {
+	if p.acceptSymbol("(") {
+		if p.peekKeyword("SELECT") {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			alias, err := p.parseAlias(true)
+			if err != nil {
+				return nil, err
+			}
+			return &SubqueryRef{Select: sel, Alias: alias}, nil
+		}
+		// Parenthesised join expression.
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	alias, err := p.parseAlias(false)
+	if err != nil {
+		return nil, err
+	}
+	return &TableRef{Name: strings.ToLower(name), Alias: strings.ToLower(alias)}, nil
+}
+
+// parseAlias parses an optional [AS] alias; required=true makes it mandatory
+// (derived tables must be named).
+func (p *Parser) parseAlias(required bool) (string, error) {
+	if p.acceptKeyword("AS") {
+		a, err := p.parseIdent()
+		return strings.ToLower(a), err
+	}
+	if t := p.peek(); t.Kind == TokIdent && !reservedAfterTable[t.Upper] {
+		p.advance()
+		return strings.ToLower(t.Text), nil
+	}
+	if required {
+		return "", p.errorf("derived table requires an alias")
+	}
+	return "", nil
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: strings.ToLower(name)}
+	for {
+		colName, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		dt, err := rel.ParseDataType(typeName)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		def := ColumnDef{Name: strings.ToLower(colName), Type: dt}
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			def.PrimaryKey = true
+		}
+		stmt.Columns = append(stmt.Columns, def)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: strings.ToLower(name)}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, strings.ToLower(col))
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return stmt, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Postfix predicates: IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, [NOT] LIKE.
+	for {
+		switch {
+		case p.peekKeyword("IS"):
+			p.advance()
+			not := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{X: left, Not: not}
+		case p.peekKeyword("NOT") && p.lookaheadPostfix():
+			p.advance()
+			switch {
+			case p.peekKeyword("IN"):
+				e, err := p.parseIn(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = e
+			case p.peekKeyword("BETWEEN"):
+				e, err := p.parseBetween(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = e
+			case p.peekKeyword("LIKE"):
+				e, err := p.parseLike(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = e
+			default:
+				return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT")
+			}
+		case p.peekKeyword("IN"):
+			e, err := p.parseIn(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = e
+		case p.peekKeyword("BETWEEN"):
+			e, err := p.parseBetween(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = e
+		case p.peekKeyword("LIKE"):
+			e, err := p.parseLike(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = e
+		default:
+			// Binary comparison operators.
+			op, ok := p.peekComparisonOp()
+			if !ok {
+				return left, nil
+			}
+			p.advance()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+		}
+	}
+}
+
+// lookaheadPostfix reports whether the token after NOT begins a postfix
+// predicate (IN/BETWEEN/LIKE), distinguishing "a NOT IN ..." from boolean
+// "x AND NOT y".
+func (p *Parser) lookaheadPostfix() bool {
+	if p.pos+1 >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+1]
+	return t.Kind == TokIdent && (t.Upper == "IN" || t.Upper == "BETWEEN" || t.Upper == "LIKE")
+}
+
+func (p *Parser) peekComparisonOp() (BinaryOp, bool) {
+	t := p.peek()
+	if t.Kind != TokSymbol {
+		return 0, false
+	}
+	switch t.Text {
+	case "=":
+		return OpEq, true
+	case "<>", "!=":
+		return OpNe, true
+	case "<":
+		return OpLt, true
+	case "<=":
+		return OpLe, true
+	case ">":
+		return OpGt, true
+	case ">=":
+		return OpGe, true
+	}
+	return 0, false
+}
+
+func (p *Parser) parseIn(left Expr, not bool) (Expr, error) {
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	in := &InExpr{X: left, Not: not}
+	if p.peekKeyword("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		in.Subquery = sel
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *Parser) parseBetween(left Expr, not bool) (Expr, error) {
+	if err := p.expectKeyword("BETWEEN"); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{X: left, Lo: lo, Hi: hi, Not: not}, nil
+}
+
+func (p *Parser) parseLike(left Expr, not bool) (Expr, error) {
+	if err := p.expectKeyword("LIKE"); err != nil {
+		return nil, err
+	}
+	pat, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &LikeExpr{X: left, Pattern: pat, Not: not}, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.peekSymbol("+"):
+			op = OpAdd
+		case p.peekSymbol("-"):
+			op = OpSub
+		case p.peekSymbol("||"):
+			op = OpConcat
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.peekSymbol("*"):
+			op = OpMul
+		case p.peekSymbol("/"):
+			op = OpDiv
+		case p.peekSymbol("%"):
+			op = OpMod
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately so "-5" is a literal.
+		if lit, ok := x.(*Literal); ok && lit.Value.Type().Numeric() {
+			if lit.Value.Type() == rel.TypeInt {
+				return &Literal{Value: rel.Int(-lit.Value.AsInt())}, nil
+			}
+			return &Literal{Value: rel.Float(-lit.Value.AsFloat())}, nil
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	p.acceptSymbol("+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Value: rel.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			// Overflowing integers degrade to float.
+			f, ferr := strconv.ParseFloat(t.Text, 64)
+			if ferr != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Value: rel.Float(f)}, nil
+		}
+		return &Literal{Value: rel.Int(n)}, nil
+
+	case TokString:
+		p.advance()
+		return &Literal{Value: rel.Text(t.Text)}, nil
+
+	case TokSymbol:
+		if t.Text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %q", t.Text)
+
+	case TokIdent:
+		switch t.Upper {
+		case "NULL":
+			p.advance()
+			return &Literal{Value: rel.Null()}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Value: rel.Bool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Value: rel.Bool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		}
+		if reservedAfterTable[t.Upper] {
+			return nil, p.errorf("unexpected keyword %q in expression", t.Text)
+		}
+		p.advance()
+		// Function call?
+		if p.peekSymbol("(") {
+			return p.parseFuncCall(t)
+		}
+		// Qualified column?
+		if p.acceptSymbol(".") {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: strings.ToLower(t.Text), Name: strings.ToLower(col)}, nil
+		}
+		return &ColumnRef{Name: strings.ToLower(t.Text)}, nil
+	}
+	return nil, p.errorf("unexpected token %q", t.String())
+}
+
+func (p *Parser) parseFuncCall(name Token) (Expr, error) {
+	p.advance() // (
+	f := &FuncCall{Name: name.Upper}
+	if p.acceptSymbol("*") {
+		f.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.acceptSymbol(")") {
+		return f, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		f.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	if !p.peekKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN clause")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseCast() (Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	typeName, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := rel.ParseDataType(typeName)
+	if err != nil {
+		return nil, p.errorf("%v", err)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{X: x, Type: dt}, nil
+}

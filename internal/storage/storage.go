@@ -1,0 +1,261 @@
+// Package storage implements the classical in-memory row store used both as
+// the ground-truth database and as the baseline the LLM-storage engine is
+// compared against. It provides a catalog of heap tables, insertion with type
+// checking, full scans, equality (hash) indexes, and CSV import/export.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"llmsql/internal/rel"
+)
+
+// DB is a catalog of tables. It is safe for concurrent readers; writes take
+// an exclusive lock.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table with the given schema. Column table
+// qualifiers are overwritten with the table name.
+func (db *DB) CreateTable(name string, schema rel.Schema) (*Table, error) {
+	name = strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := &Table{name: name, schema: schema.Rename(name), indexes: make(map[string]*HashIndex)}
+	db.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table; it is not an error if absent.
+func (db *DB) DropTable(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, strings.ToLower(name))
+}
+
+// Table returns the named table or an error.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the table exists.
+func (db *DB) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[strings.ToLower(name)]
+	return ok
+}
+
+// TableNames returns the sorted list of table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table is a heap of rows plus optional hash indexes.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  rel.Schema
+	rows    []rel.Row
+	indexes map[string]*HashIndex // keyed by column name
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema (columns qualified with the table name).
+func (t *Table) Schema() rel.Schema { return t.schema }
+
+// RowCount returns the number of stored rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row after coercing each value to the column type.
+// It returns an error when the arity mismatches or a value cannot be coerced.
+func (t *Table) Insert(row rel.Row) error {
+	if len(row) != t.schema.Len() {
+		return fmt.Errorf("storage: %s expects %d values, got %d", t.name, t.schema.Len(), len(row))
+	}
+	stored := make(rel.Row, len(row))
+	for i, v := range row {
+		cv, err := rel.Coerce(v, t.schema.Col(i).Type)
+		if err != nil {
+			return fmt.Errorf("storage: %s.%s: %v", t.name, t.schema.Col(i).Name, err)
+		}
+		stored[i] = cv
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := len(t.rows)
+	t.rows = append(t.rows, stored)
+	for _, idx := range t.indexes {
+		idx.add(stored, pos)
+	}
+	return nil
+}
+
+// InsertAll inserts a batch, stopping at the first error.
+func (t *Table) InsertAll(rows []rel.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan returns a snapshot iterator over all rows. Rows must not be mutated
+// by callers.
+func (t *Table) Scan() *Rows {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	snapshot := t.rows // append-only heap: the prefix is immutable
+	return &Rows{rows: snapshot}
+}
+
+// All returns a copy of the row slice header (rows shared, not copied).
+func (t *Table) All() []rel.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// Truncate removes all rows and clears indexes.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+	for _, idx := range t.indexes {
+		idx.clear()
+	}
+}
+
+// Rows is a forward-only iterator over a row snapshot.
+type Rows struct {
+	rows []rel.Row
+	pos  int
+}
+
+// Next returns the next row, or (nil, false) at the end.
+func (r *Rows) Next() (rel.Row, bool) {
+	if r.pos >= len(r.rows) {
+		return nil, false
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, true
+}
+
+// Len returns the total number of rows in the snapshot.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// CreateIndex builds a hash index on the named column. Building is
+// idempotent: an existing index is returned unchanged.
+func (t *Table) CreateIndex(column string) (*HashIndex, error) {
+	column = strings.ToLower(column)
+	pos := t.schema.IndexOf(column)
+	if pos < 0 {
+		return nil, fmt.Errorf("storage: %s has no column %q", t.name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.indexes[column]; ok {
+		return idx, nil
+	}
+	idx := &HashIndex{column: column, colPos: pos, buckets: make(map[uint64][]int)}
+	for i, row := range t.rows {
+		idx.add(row, i)
+	}
+	t.indexes[column] = idx
+	return idx, nil
+}
+
+// Index returns the index on the column, or nil.
+func (t *Table) Index(column string) *HashIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[strings.ToLower(column)]
+}
+
+// Lookup returns the rows whose indexed column equals v, using the index
+// when available and falling back to a scan.
+func (t *Table) Lookup(column string, v rel.Value) ([]rel.Row, error) {
+	column = strings.ToLower(column)
+	if idx := t.Index(column); idx != nil {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		var out []rel.Row
+		for _, pos := range idx.lookup(v) {
+			row := t.rows[pos]
+			if row[idx.colPos].IdenticalTo(v) {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	}
+	pos := t.schema.IndexOf(column)
+	if pos < 0 {
+		return nil, fmt.Errorf("storage: %s has no column %q", t.name, column)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []rel.Row
+	for _, row := range t.rows {
+		if row[pos].IdenticalTo(v) {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// HashIndex is an equality index mapping value hashes to row positions.
+type HashIndex struct {
+	column  string
+	colPos  int
+	buckets map[uint64][]int
+}
+
+// Column returns the indexed column name.
+func (ix *HashIndex) Column() string { return ix.column }
+
+func (ix *HashIndex) add(row rel.Row, pos int) {
+	h := row[ix.colPos].Hash()
+	ix.buckets[h] = append(ix.buckets[h], pos)
+}
+
+func (ix *HashIndex) lookup(v rel.Value) []int {
+	return ix.buckets[v.Hash()]
+}
+
+func (ix *HashIndex) clear() {
+	ix.buckets = make(map[uint64][]int)
+}

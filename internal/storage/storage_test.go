@@ -1,0 +1,356 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"llmsql/internal/rel"
+)
+
+func countrySchema() rel.Schema {
+	return rel.NewSchema(
+		rel.Column{Name: "name", Type: rel.TypeText, Key: true},
+		rel.Column{Name: "capital", Type: rel.TypeText},
+		rel.Column{Name: "population", Type: rel.TypeInt},
+	)
+}
+
+func newCountryTable(t *testing.T) *Table {
+	t.Helper()
+	db := NewDB()
+	tbl, err := db.CreateTable("country", countrySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []rel.Row{
+		{rel.Text("France"), rel.Text("Paris"), rel.Int(68)},
+		{rel.Text("Japan"), rel.Text("Tokyo"), rel.Int(125)},
+		{rel.Text("Brazil"), rel.Text("Brasilia"), rel.Int(214)},
+	}
+	if err := tbl.InsertAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable("t", countrySchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("T", countrySchema()); err == nil {
+		t.Fatal("duplicate create must fail (case-insensitive)")
+	}
+	if !db.HasTable("t") {
+		t.Fatal("HasTable")
+	}
+	if _, err := db.Table("T"); err != nil {
+		t.Fatal("case-insensitive lookup")
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Fatal("missing table must error")
+	}
+	db.DropTable("t")
+	if db.HasTable("t") {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	db := NewDB()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := db.CreateTable(n, countrySchema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := db.TableNames()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	tbl := newCountryTable(t)
+	// Coercion on insert: text population.
+	if err := tbl.Insert(rel.Row{rel.Text("India"), rel.Text("New Delhi"), rel.Text("1,400")}); err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.All()
+	last := rows[len(rows)-1]
+	if last[2].Type() != rel.TypeInt || last[2].AsInt() != 1400 {
+		t.Fatalf("coerced insert: %v", last)
+	}
+	// Arity error.
+	if err := tbl.Insert(rel.Row{rel.Text("X")}); err == nil {
+		t.Fatal("arity error expected")
+	}
+	// Uncoercible value.
+	if err := tbl.Insert(rel.Row{rel.Text("Y"), rel.Text("Z"), rel.Text("lots")}); err == nil {
+		t.Fatal("coercion error expected")
+	}
+}
+
+func TestScanSnapshot(t *testing.T) {
+	tbl := newCountryTable(t)
+	it := tbl.Scan()
+	if it.Len() != 3 {
+		t.Fatalf("scan len: %d", it.Len())
+	}
+	// Insert during iteration must not affect the snapshot.
+	if err := tbl.Insert(rel.Row{rel.Text("Kenya"), rel.Text("Nairobi"), rel.Int(54)}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("snapshot iteration saw %d rows", n)
+	}
+	if tbl.RowCount() != 4 {
+		t.Fatalf("row count: %d", tbl.RowCount())
+	}
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	tbl := newCountryTable(t)
+	if _, err := tbl.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tbl.Lookup("name", rel.Text("Japan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1].AsText() != "Tokyo" {
+		t.Fatalf("lookup: %v", rows)
+	}
+	// Index maintained across later inserts.
+	if err := tbl.Insert(rel.Row{rel.Text("Japan"), rel.Text("Tokio?"), rel.Int(125)}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = tbl.Lookup("name", rel.Text("Japan"))
+	if len(rows) != 2 {
+		t.Fatalf("index not maintained: %v", rows)
+	}
+	// Missing value.
+	rows, _ = tbl.Lookup("name", rel.Text("Atlantis"))
+	if len(rows) != 0 {
+		t.Fatalf("phantom rows: %v", rows)
+	}
+	// Unindexed column falls back to scan.
+	rows, err = tbl.Lookup("capital", rel.Text("Paris"))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("scan fallback: %v %v", rows, err)
+	}
+	if _, err := tbl.Lookup("nope", rel.Text("x")); err == nil {
+		t.Fatal("unknown column must error")
+	}
+	if _, err := tbl.CreateIndex("nope"); err == nil {
+		t.Fatal("index on unknown column must error")
+	}
+	// Idempotent index creation.
+	ix1 := tbl.Index("name")
+	ix2, err := tbl.CreateIndex("name")
+	if err != nil || ix1 != ix2 {
+		t.Fatal("CreateIndex must be idempotent")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tbl := newCountryTable(t)
+	if _, err := tbl.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Truncate()
+	if tbl.RowCount() != 0 {
+		t.Fatal("truncate")
+	}
+	rows, _ := tbl.Lookup("name", rel.Text("France"))
+	if len(rows) != 0 {
+		t.Fatal("index not cleared")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := newCountryTable(t)
+	var buf bytes.Buffer
+	if err := tbl.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	tbl2, err := db.CreateTable("country2", countrySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tbl2.ImportCSV(&buf)
+	if err != nil || n != 3 {
+		t.Fatalf("import: %d %v", n, err)
+	}
+	if tbl2.RowCount() != 3 {
+		t.Fatal("row count after import")
+	}
+	a, b := tbl.All(), tbl2.All()
+	for i := range a {
+		if a[i].AllKey() != b[i].AllKey() {
+			t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestImportCSVColumnMapping(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable("c", countrySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reordered header, extra column, missing capital.
+	csvData := "population,extra,name\n68,x,France\n,y,Narnia\n"
+	n, err := tbl.ImportCSV(strings.NewReader(csvData))
+	if err != nil || n != 2 {
+		t.Fatalf("import: %d %v", n, err)
+	}
+	rows := tbl.All()
+	if rows[0][0].AsText() != "France" || rows[0][2].AsInt() != 68 {
+		t.Fatalf("mapped row: %v", rows[0])
+	}
+	if !rows[0][1].IsNull() {
+		t.Fatalf("missing column must be NULL: %v", rows[0])
+	}
+	if !rows[1][2].IsNull() {
+		t.Fatalf("empty int must be NULL: %v", rows[1])
+	}
+}
+
+func TestImportCSVBadValue(t *testing.T) {
+	db := NewDB()
+	tbl, _ := db.CreateTable("c", countrySchema())
+	_, err := tbl.ImportCSV(strings.NewReader("name,population\nX,notanumber\n"))
+	if err == nil {
+		t.Fatal("bad value must error")
+	}
+}
+
+// Property: inserting N valid rows yields RowCount N and scan sees them all
+// in order.
+func TestInsertScanProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		db := NewDB()
+		tbl, err := db.CreateTable("p", rel.NewSchema(
+			rel.Column{Name: "id", Type: rel.TypeInt},
+		))
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := tbl.Insert(rel.Row{rel.Int(v)}); err != nil {
+				return false
+			}
+		}
+		if tbl.RowCount() != len(vals) {
+			return false
+		}
+		it := tbl.Scan()
+		for i := 0; ; i++ {
+			row, ok := it.Next()
+			if !ok {
+				return i == len(vals)
+			}
+			if row[0].AsInt() != vals[i] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: index lookup agrees with a full scan filter for random data.
+func TestIndexScanAgreementProperty(t *testing.T) {
+	f := func(keys []uint8, probe uint8) bool {
+		db := NewDB()
+		tbl, err := db.CreateTable("p", rel.NewSchema(
+			rel.Column{Name: "k", Type: rel.TypeInt},
+			rel.Column{Name: "pos", Type: rel.TypeInt},
+		))
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if err := tbl.Insert(rel.Row{rel.Int(int64(k)), rel.Int(int64(i))}); err != nil {
+				return false
+			}
+		}
+		if _, err := tbl.CreateIndex("k"); err != nil {
+			return false
+		}
+		indexed, err := tbl.Lookup("k", rel.Int(int64(probe)))
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, k := range keys {
+			if k == probe {
+				want++
+			}
+		}
+		return len(indexed) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertScan(t *testing.T) {
+	db := NewDB()
+	tbl, _ := db.CreateTable("c", rel.NewSchema(rel.Column{Name: "n", Type: rel.TypeInt}))
+	done := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 100; i++ {
+				if e := tbl.Insert(rel.Row{rel.Int(int64(g*1000 + i))}); e != nil {
+					err = e
+				}
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		go func() {
+			var err error
+			for i := 0; i < 50; i++ {
+				it := tbl.Scan()
+				n := 0
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+					n++
+				}
+				if n > 400 {
+					err = fmt.Errorf("saw %d rows", n)
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.RowCount() != 400 {
+		t.Fatalf("final count: %d", tbl.RowCount())
+	}
+}

@@ -1,0 +1,151 @@
+// Package llmsql is the public facade of the LLM-as-storage SQL engine: a
+// query processor that executes ordinary SQL against virtual tables whose
+// tuples are retrieved by prompting a large language model, with classical
+// relational operators (joins, aggregation, ordering) running on top.
+//
+// Quick start:
+//
+//	w := llmsql.GenerateWorld(llmsql.WorldConfig{Seed: 1})
+//	model := llmsql.NewSynthLM(w, llmsql.ProfileMedium, 1)
+//	eng := llmsql.New(model, llmsql.DefaultConfig())
+//	for _, name := range w.DomainNames() {
+//		eng.RegisterWorldDomain(w.Domain(name))
+//	}
+//	res, err := eng.Query(`SELECT name, capital FROM country WHERE population > 50`)
+//
+// The facade re-exports the stable surface of the internal packages; see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+// evaluation.
+package llmsql
+
+import (
+	"llmsql/internal/core"
+	"llmsql/internal/exec"
+	"llmsql/internal/llm"
+	"llmsql/internal/rel"
+	"llmsql/internal/storage"
+	"llmsql/internal/world"
+)
+
+// ---- engine ----
+
+// Engine executes SQL over LLM storage. See core.Engine.
+type Engine = core.Engine
+
+// Config tunes the engine. See core.Config.
+type Config = core.Config
+
+// Strategy selects the prompt decomposition. See core.Strategy.
+type Strategy = core.Strategy
+
+// Prompt strategies.
+const (
+	StrategyFullTable   = core.StrategyFullTable
+	StrategyKeyThenAttr = core.StrategyKeyThenAttr
+	StrategyPaged       = core.StrategyPaged
+)
+
+// VirtualTable declares an LLM-backed relation. See core.VirtualTable.
+type VirtualTable = core.VirtualTable
+
+// QueryResult bundles rows with the execution report. See core.QueryResult.
+type QueryResult = core.QueryResult
+
+// New builds an engine over any Model.
+func New(model Model, cfg Config) *Engine { return core.New(model, cfg) }
+
+// DefaultConfig returns the paper-style engine configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// FormatResult renders a result as an aligned text table.
+func FormatResult(res *Result) string { return core.FormatResult(res) }
+
+// ---- results and values ----
+
+// Result is a materialized query result. See exec.Result.
+type Result = exec.Result
+
+// Value is a typed SQL value. See rel.Value.
+type Value = rel.Value
+
+// Row is a tuple of values. See rel.Row.
+type Row = rel.Row
+
+// Schema describes a relation. See rel.Schema.
+type Schema = rel.Schema
+
+// Column describes one attribute. See rel.Column.
+type Column = rel.Column
+
+// DataType enumerates column types. See rel.DataType.
+type DataType = rel.DataType
+
+// Column data types.
+const (
+	TypeBool  = rel.TypeBool
+	TypeInt   = rel.TypeInt
+	TypeFloat = rel.TypeFloat
+	TypeText  = rel.TypeText
+)
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) Schema { return rel.NewSchema(cols...) }
+
+// Value constructors for building rows programmatically (local tables,
+// test fixtures).
+var (
+	// Int returns an INT value.
+	Int = rel.Int
+	// Float returns a FLOAT value.
+	Float = rel.Float
+	// Text returns a TEXT value.
+	Text = rel.Text
+	// Bool returns a BOOL value.
+	Bool = rel.Bool
+	// Null returns the SQL NULL value.
+	Null = rel.Null
+)
+
+// ---- models ----
+
+// Model is anything that completes prompts. See llm.Model.
+type Model = llm.Model
+
+// NoiseProfile controls the simulated model's reliability. See
+// llm.NoiseProfile.
+type NoiseProfile = llm.NoiseProfile
+
+// Simulated model tiers.
+var (
+	ProfileLarge  = llm.ProfileLarge
+	ProfileMedium = llm.ProfileMedium
+	ProfileSmall  = llm.ProfileSmall
+)
+
+// Usage accumulates model consumption. See llm.Usage.
+type Usage = llm.Usage
+
+// NewSynthLM builds the deterministic simulated LLM over a world.
+func NewSynthLM(w *World, profile NoiseProfile, seed int64) *llm.SynthLM {
+	return llm.NewSynthLM(w, profile, seed)
+}
+
+// ---- synthetic world & local storage ----
+
+// World is the synthetic universe. See world.World.
+type World = world.World
+
+// WorldConfig sizes the world. See world.Config.
+type WorldConfig = world.Config
+
+// GenerateWorld builds a world from the configuration.
+func GenerateWorld(cfg WorldConfig) *World { return world.Generate(cfg) }
+
+// LoadWorldDB materializes the ground truth into a row store.
+func LoadWorldDB(w *World) (*DB, error) { return world.LoadDB(w) }
+
+// DB is the in-memory row store. See storage.DB.
+type DB = storage.DB
+
+// NewDB returns an empty row store (for hybrid queries and baselines).
+func NewDB() *DB { return storage.NewDB() }

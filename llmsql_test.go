@@ -1,0 +1,84 @@
+package llmsql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w := GenerateWorld(WorldConfig{Seed: 1, Countries: 30, Movies: 30, Laureates: 10, Companies: 10})
+	model := NewSynthLM(w, ProfileLarge, 1)
+	eng := New(model, DefaultConfig())
+	for _, name := range w.DomainNames() {
+		eng.RegisterWorldDomain(w.Domain(name))
+	}
+	res, err := eng.Query(`SELECT name, capital FROM country WHERE population > 10 ORDER BY name LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	out := FormatResult(res.Result)
+	if !strings.Contains(out, "name") {
+		t.Fatalf("format: %s", out)
+	}
+	if res.Usage.TotalTokens() == 0 {
+		t.Fatal("no usage")
+	}
+}
+
+// TestPublicAPICustomVirtualTable registers a hand-declared virtual table.
+func TestPublicAPICustomVirtualTable(t *testing.T) {
+	w := GenerateWorld(WorldConfig{Seed: 2, Countries: 20, Movies: 10, Laureates: 5, Companies: 5})
+	model := NewSynthLM(w, ProfileLarge, 2)
+	eng := New(model, DefaultConfig())
+	// Declare only a subset of the world's country columns.
+	eng.RegisterTable(VirtualTable{
+		Name:        "country",
+		Description: "a sovereign country of the world",
+		Schema: NewSchema(
+			Column{Name: "name", Type: TypeText, Key: true, Desc: "the country's name"},
+			Column{Name: "population", Type: TypeInt, Desc: "population in millions of inhabitants"},
+		),
+	})
+	res, err := eng.Query("SELECT name FROM country WHERE population > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Schema.Len() != 1 {
+		t.Fatalf("schema: %v", res.Result.Schema)
+	}
+}
+
+// TestPublicAPIHybrid joins a local table with a virtual one.
+func TestPublicAPIHybrid(t *testing.T) {
+	w := GenerateWorld(WorldConfig{Seed: 3, Countries: 20, Movies: 10, Laureates: 5, Companies: 5})
+	eng := New(NewSynthLM(w, ProfileLarge, 3), DefaultConfig())
+	eng.RegisterWorldDomain(w.Domain("country"))
+
+	local := NewDB()
+	tbl, err := local.CreateTable("notes", NewSchema(
+		Column{Name: "country_name", Type: TypeText, Key: true},
+		Column{Name: "note", Type: TypeText},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := w.Domain("country").TopKeys(2)
+	for _, k := range top {
+		if err := tbl.Insert(Row{Text(k), Text("visit")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.AttachLocal(local)
+
+	res, err := eng.Query(`SELECT n.country_name, c.capital, n.note FROM notes n JOIN country c ON c.name = n.country_name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Rows) == 0 {
+		t.Fatal("hybrid join empty")
+	}
+}
