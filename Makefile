@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench baseline
+
+## check: everything CI runs
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: full-scale experiment suite to stdout
+bench:
+	$(GO) run ./cmd/llmsql-bench
+
+## baseline: regenerate the checked-in perf baseline
+baseline:
+	$(GO) run ./cmd/llmsql-bench -json > BENCH_baseline.json

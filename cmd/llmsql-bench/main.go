@@ -1,13 +1,16 @@
 // Command llmsql-bench runs the full experiment suite — every table and
 // figure of the reconstructed evaluation — and prints the reports in paper
-// order. The output of a full-scale run is recorded in EXPERIMENTS.md.
+// order. The output of a full-scale run is recorded in EXPERIMENTS.md, and
+// -json emits a machine-readable run (BENCH_baseline.json is one, checked
+// in so future changes have a perf trajectory to compare against).
 //
 // Usage:
 //
-//	llmsql-bench [-seed N] [-scale F] [-only "Table 4"]
+//	llmsql-bench [-seed N] [-scale F] [-only "Table 4"] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +20,19 @@ import (
 	"llmsql/internal/bench"
 )
 
+// jsonRun is the machine-readable output shape of -json.
+type jsonRun struct {
+	Seed    int64          `json:"seed"`
+	Scale   float64        `json:"scale"`
+	Reports []bench.Report `json:"reports"`
+}
+
 func main() {
 	var (
-		seed  = flag.Int64("seed", 2024, "world and model seed")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-style)")
-		only  = flag.String("only", "", "run only the experiment whose ID contains this substring")
+		seed   = flag.Int64("seed", 2024, "world and model seed")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-style)")
+		only   = flag.String("only", "", "run only the experiment whose ID contains this substring")
+		asJSON = flag.Bool("json", false, "emit the reports as JSON (for BENCH_baseline.json-style records)")
 	)
 	flag.Parse()
 
@@ -32,17 +43,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "llmsql-bench:", err)
 		os.Exit(1)
 	}
-	printed := 0
+	var kept []bench.Report
 	for _, r := range reports {
 		if *only != "" && !strings.Contains(strings.ToLower(r.ID), strings.ToLower(*only)) {
 			continue
 		}
-		fmt.Println(r.String())
-		printed++
+		kept = append(kept, r)
 	}
-	if printed == 0 {
+	if len(kept) == 0 {
 		fmt.Fprintf(os.Stderr, "llmsql-bench: no experiment matches -only=%q\n", *only)
 		os.Exit(1)
 	}
-	fmt.Printf("— %d experiments in %v (seed %d, scale %.2f)\n", printed, time.Since(start).Round(time.Millisecond), *seed, *scale)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonRun{Seed: *seed, Scale: *scale, Reports: kept}); err != nil {
+			fmt.Fprintln(os.Stderr, "llmsql-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range kept {
+		fmt.Println(r.String())
+	}
+	fmt.Printf("— %d experiments in %v (seed %d, scale %.2f)\n", len(kept), time.Since(start).Round(time.Millisecond), *seed, *scale)
 }

@@ -3,8 +3,9 @@
 // It wires a synthetic world, a simulated model at the chosen quality tier,
 // and the query engine, then executes the query (or an interactive loop on
 // stdin) and prints rows plus the retrieval report: prompts issued, tokens,
-// simulated latency/$ and — when --score is set — precision/recall/F1
-// against the world's ground truth.
+// simulated total and critical-path latency/$ (see -parallel and -cache)
+// and — when --score is set — precision/recall/F1 against the world's
+// ground truth.
 //
 // Usage:
 //
@@ -39,6 +40,8 @@ func main() {
 		temp      = flag.Float64("temp", 0.7, "sampling temperature")
 		rounds    = flag.Int("rounds", 8, "max sampling rounds")
 		votes     = flag.Int("votes", 1, "self-consistency votes for attribute retrieval")
+		parallel  = flag.Int("parallel", 1, "worker-pool width for concurrent model calls (1 = serial)")
+		cacheCap  = flag.Int("cache", 0, "completion-cache capacity in entries (0 = off, negative = default)")
 		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts")
 		tolerant  = flag.Bool("tolerant", true, "use the repairing completion parser")
 		score     = flag.Bool("score", false, "score results against the ground truth")
@@ -64,6 +67,8 @@ func main() {
 	cfg.Temperature = *temp
 	cfg.MaxRounds = *rounds
 	cfg.Votes = *votes
+	cfg.Parallelism = *parallel
+	cfg.CacheCapacity = *cacheCap
 	cfg.Pushdown = *pushdown
 	cfg.Tolerant = *tolerant
 	cfg.Strategy, err = strategyByName(*strategy)
@@ -120,11 +125,16 @@ func main() {
 			return
 		}
 		fmt.Print(core.FormatResult(res.Result))
-		fmt.Printf("model: %d calls, %d tokens, simulated %v / $%.4f\n",
-			res.Usage.Calls, res.Usage.TotalTokens(), res.Usage.SimLatency.Round(1e6), res.Usage.SimDollars)
+		fmt.Printf("model: %d calls (%d cached), %d tokens, simulated %v total / %v critical-path / $%.4f\n",
+			res.Usage.Calls, res.Usage.CachedCalls, res.Usage.TotalTokens(),
+			res.Usage.SimLatency.Round(1e6), res.Usage.SimWall.Round(1e6), res.Usage.SimDollars)
 		for _, s := range res.Scans {
-			fmt.Printf("scan %s [%s]: %d prompts, %d rounds, %d rows, %d dupes dropped, %d repairs\n",
+			fmt.Printf("scan %s [%s]: %d prompts, %d rounds, %d rows, %d dupes dropped, %d repairs",
 				s.Table, s.Strategy, s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
+			if s.CacheHits+s.CacheMisses > 0 {
+				fmt.Printf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
+			}
+			fmt.Println()
 		}
 		if truthDB != nil {
 			scoreQuery(truthDB, query, res)

@@ -1,0 +1,3 @@
+module llmsql
+
+go 1.22

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -292,5 +293,70 @@ func TestTable8ConfidenceShape(t *testing.T) {
 			t.Fatalf("recall rose with threshold:\n%s", r.Body)
 		}
 		prevPrec, prevRecall = prec, recall
+	}
+}
+
+func TestTable9ParallelismSpeedupAndDeterminism(t *testing.T) {
+	r, err := Table9Parallelism(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawP8 := false
+	for _, line := range dataLines(r.Body) {
+		fields := strings.Fields(line)
+		if fields[len(fields)-1] != "true" {
+			t.Fatalf("rows not identical to serial: %s", line)
+		}
+		if fields[0] == "8" {
+			sawP8 = true
+			speedup := mustFloat(t, strings.TrimSuffix(fields[5], "x"))
+			if speedup < 4 {
+				t.Fatalf("speedup at parallelism 8 is %.2fx, want >= 4x:\n%s", speedup, r.Body)
+			}
+		}
+	}
+	if !sawP8 {
+		t.Fatalf("no parallelism-8 row:\n%s", r.Body)
+	}
+}
+
+func TestFigure8CacheWarmup(t *testing.T) {
+	r, err := Figure8CacheWarmup(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "cold") || !strings.Contains(r.Body, "warm") {
+		t.Fatalf("runs missing:\n%s", r.Body)
+	}
+	if !strings.Contains(r.Body, "Identical rows cold vs warm: true") {
+		t.Fatalf("cache changed answers:\n%s", r.Body)
+	}
+	// The warm run must be served (almost) entirely from cache.
+	for _, line := range dataLines(r.Body) {
+		fields := strings.Fields(line)
+		if len(fields) < 7 || fields[0] != "warm" {
+			continue
+		}
+		if fields[3] != "0" {
+			t.Fatalf("warm run charged tokens: %s", line)
+		}
+	}
+	// The pressure block must demonstrate real eviction within the bound.
+	pressure := ""
+	for _, line := range strings.Split(r.Body, "\n") {
+		if strings.Contains(line, "Bounded LRU under pressure") {
+			pressure = line
+		}
+	}
+	var capacity, size, evictions, hits, misses int
+	if _, err := fmt.Sscanf(pressure, "Bounded LRU under pressure (capacity %d): size %d, %d evictions, %d hits / %d misses.",
+		&capacity, &size, &evictions, &hits, &misses); err != nil {
+		t.Fatalf("pressure line %q: %v", pressure, err)
+	}
+	if evictions == 0 {
+		t.Fatalf("pressure block evicted nothing: %s", pressure)
+	}
+	if size > capacity {
+		t.Fatalf("cache exceeded its bound: %s", pressure)
 	}
 }

@@ -282,9 +282,9 @@ func Table7Ablations(o Options) (Report, error) {
 	if _, err := e2.Query(query); err != nil {
 		return Report{}, err
 	}
-	hits, misses := cache.Stats()
+	cs := cache.CacheStats()
 	extra := fmt.Sprintf("\nPrompt cache on an identical re-run: %d of %d model calls served from cache (%.0f%%).\n",
-		hits, hits+misses, 100*float64(hits)/float64(hits+misses))
+		cs.Hits, cs.Hits+cs.Misses, 100*float64(cs.Hits)/float64(cs.Hits+cs.Misses))
 
 	return Report{
 		ID:    "Table 7",

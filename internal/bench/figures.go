@@ -271,10 +271,12 @@ func RunAll(o Options) ([]Report, error) {
 		Table6VsBaseline,
 		Table7Ablations,
 		Table8Confidence,
+		Table9Parallelism,
 		Figure4Convergence,
 		Figure5ModelQuality,
 		Figure6Popularity,
 		Figure7Crossover,
+		Figure8CacheWarmup,
 	}
 	var out []Report
 	for _, run := range runners {

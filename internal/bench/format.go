@@ -80,16 +80,17 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// Report is one experiment's output.
+// Report is one experiment's output. The struct marshals to JSON for
+// machine-readable runs (llmsql-bench -json, BENCH_baseline.json).
 type Report struct {
 	// ID is the table/figure identifier ("Table 2", "Figure 4").
-	ID string
+	ID string `json:"id"`
 	// Title describes the experiment.
-	Title string
+	Title string `json:"title"`
 	// Body is the formatted result table.
-	Body string
+	Body string `json:"body"`
 	// CSV is the machine-readable series (figures only; may be empty).
-	CSV string
+	CSV string `json:"csv,omitempty"`
 }
 
 // String renders the report for terminals and EXPERIMENTS.md.

@@ -71,6 +71,24 @@ type Config struct {
 	// entities recur). 0 disables the filter; it only applies when more
 	// than one round actually ran. Extension feature, swept in Table 8.
 	MinConfidence float64
+	// Parallelism bounds the number of model calls a scan may have in
+	// flight at once: ATTR prompts and self-consistency votes of the
+	// key-then-attr strategy fan out across a worker pool, and independent
+	// sampling rounds of constant-prompt enumerations are prefetched
+	// concurrently. 1 (the default) is the exact serial pipeline. Result
+	// rows are byte-identical at every value — responses are merged in
+	// deterministic key/column/round order, never completion order — and so
+	// are ScanStats, except that with a cache configured the cache counters
+	// of later scans can shift (speculative prefetch may warm the cache).
+	// Usage may charge more at higher values: speculative round prefetch
+	// issues up to Parallelism-1 calls the convergence rule then discards,
+	// and those cost real tokens/latency/dollars exactly as they would
+	// against a live API (wasted spend traded for wall-clock latency).
+	Parallelism int
+	// CacheCapacity, when non-zero, puts a bounded LRU completion cache of
+	// that many entries in front of the model (negative values select the
+	// default capacity). Cache hits cost no simulated latency or dollars.
+	CacheCapacity int
 	// Seed offsets sampling seeds so experiments can decorrelate runs.
 	Seed int64
 }
@@ -90,6 +108,8 @@ func DefaultConfig() Config {
 		Tolerant:            true,
 		Dedup:               true,
 		MaxCompletionTokens: 0,
+		Parallelism:         1,
+		CacheCapacity:       0,
 		Seed:                0,
 	}
 }
@@ -116,6 +136,9 @@ func (c Config) normalize() Config {
 	}
 	if c.MinConfidence > 1 {
 		c.MinConfidence = 1
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
 	}
 	return c
 }

@@ -20,20 +20,39 @@ import (
 type Engine struct {
 	store *LLMStore
 	model *llm.CountingModel
-	local *storage.DB // optional
+	cache *llm.CacheModel // optional, per Config.CacheCapacity
+	local *storage.DB     // optional
 }
 
-// New builds an engine over the model with the given configuration.
+// New builds an engine over the model with the given configuration. When
+// Config.CacheCapacity is non-zero the model is fronted by a bounded LRU
+// completion cache; the counting wrapper sits outside it, so cache hits are
+// counted as calls but charged zero latency and dollars.
 func New(model llm.Model, cfg Config) *Engine {
+	var cache *llm.CacheModel
+	if cfg.CacheCapacity != 0 {
+		cache = llm.NewCacheSized(model, cfg.CacheCapacity)
+		model = cache
+	}
 	counting := llm.NewCounting(model)
 	return &Engine{
 		store: NewLLMStore(counting, cfg),
 		model: counting,
+		cache: cache,
 	}
 }
 
 // CostModel replaces the simulated cost constants.
 func (e *Engine) CostModel(c llm.CostModel) { e.model.Cost = c }
+
+// CacheStats reports the completion cache's counters (the zero value when
+// no cache is configured).
+func (e *Engine) CacheStats() llm.CacheStats {
+	if e.cache == nil {
+		return llm.CacheStats{}
+	}
+	return e.cache.CacheStats()
+}
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.store.Config() }
@@ -84,16 +103,9 @@ func (e *Engine) Query(query string) (*QueryResult, error) {
 		return nil, err
 	}
 	after := e.model.Usage()
-	usage := llm.Usage{
-		Calls:            after.Calls - before.Calls,
-		PromptTokens:     after.PromptTokens - before.PromptTokens,
-		CompletionTokens: after.CompletionTokens - before.CompletionTokens,
-		SimLatency:       after.SimLatency - before.SimLatency,
-		SimDollars:       after.SimDollars - before.SimDollars,
-	}
 	return &QueryResult{
 		Result: res,
-		Usage:  usage,
+		Usage:  after.Sub(before),
 		Scans:  e.store.TakeStats(),
 		Plan:   plan.Explain(node),
 	}, nil
@@ -207,15 +219,9 @@ func (e *Engine) QueryAnalyze(query string) (*QueryResult, string, error) {
 	after := e.model.Usage()
 	qr := &QueryResult{
 		Result: res,
-		Usage: llm.Usage{
-			Calls:            after.Calls - before.Calls,
-			PromptTokens:     after.PromptTokens - before.PromptTokens,
-			CompletionTokens: after.CompletionTokens - before.CompletionTokens,
-			SimLatency:       after.SimLatency - before.SimLatency,
-			SimDollars:       after.SimDollars - before.SimDollars,
-		},
-		Scans: e.store.TakeStats(),
-		Plan:  plan.Explain(node),
+		Usage:  after.Sub(before),
+		Scans:  e.store.TakeStats(),
+		Plan:   plan.Explain(node),
 	}
 	return qr, plan.ExplainWithRows(node, prof.Rows), nil
 }

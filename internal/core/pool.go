@@ -1,0 +1,57 @@
+package core
+
+import "sync"
+
+// runTasks executes tasks 0..n-1 with at most parallelism of them in flight
+// at once. Tasks must write their results into caller-owned, index-disjoint
+// slots — the pool imposes no ordering, so any merge that depends on order
+// must happen afterwards, over the slots, in index order.
+//
+// Error semantics match a serial loop as closely as concurrency allows: once
+// any task fails, no further tasks are launched, and after all in-flight
+// tasks drain the error of the lowest-indexed failed task is returned (so
+// the reported error does not depend on goroutine completion order).
+func runTasks(parallelism, n int, task func(i int) error) error {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := firstIdx < n
+		mu.Unlock()
+		if failed {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := task(i); err != nil {
+				mu.Lock()
+				if i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}

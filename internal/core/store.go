@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"llmsql/internal/exec"
 	"llmsql/internal/llm"
@@ -29,6 +30,12 @@ type ScanStats struct {
 	// LowConfidenceDropped counts entities removed by the MinConfidence
 	// filter (seen in too few sampling rounds).
 	LowConfidenceDropped int
+	// CacheHits and CacheMisses count completion-cache lookups among the
+	// calls this scan consumed (zero when no cache is configured; discarded
+	// speculative prefetch calls are excluded, mirroring Prompts — though
+	// at Parallelism > 1 they may warm the cache for later scans).
+	CacheHits   int
+	CacheMisses int
 	// Parse aggregates the parser counters.
 	Parse ParseStats
 }
@@ -37,6 +44,7 @@ type ScanStats struct {
 // It is safe for concurrent use.
 type LLMStore struct {
 	model llm.Model
+	cache *llm.CacheModel // completion cache in the model chain, if any
 	cfg   Config
 
 	mu     sync.Mutex
@@ -48,6 +56,7 @@ type LLMStore struct {
 func NewLLMStore(model llm.Model, cfg Config) *LLMStore {
 	return &LLMStore{
 		model:  model,
+		cache:  llm.FindCache(model),
 		cfg:    cfg.normalize(),
 		tables: make(map[string]*VirtualTable),
 	}
@@ -130,6 +139,11 @@ func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 		rows = scan.dedup(rows)
 	}
 	scan.stats.RowsEmitted = len(rows)
+	// Report this scan's simulated critical path: its phases are a
+	// dependency chain, so their makespans added up along the way.
+	if wa, ok := s.model.(llm.WallAdder); ok {
+		wa.AddWall(scan.wall)
+	}
 
 	s.mu.Lock()
 	s.stats = append(s.stats, scan.stats)
@@ -159,7 +173,11 @@ func neededColumns(schema rel.Schema, needed []bool) []int {
 	return cols
 }
 
-// llmScan is the per-scan state machine.
+// llmScan is the per-scan state machine. Model calls may fan out across a
+// worker pool (Config.Parallelism), but all scan state — stats, parser
+// counters, the wall-clock accumulator — is only ever touched from the
+// scan's own goroutine: concurrent tasks write into index-disjoint slots and
+// results are merged in deterministic order afterwards.
 type llmScan struct {
 	store  *LLMStore
 	table  *VirtualTable
@@ -167,15 +185,17 @@ type llmScan struct {
 	cols   []int
 	filter sql.Expr
 	stats  ScanStats
+	wall   time.Duration // simulated critical-path latency of this scan
 }
 
 func (sc *llmScan) cfg() Config { return sc.store.cfg }
 
 func (sc *llmScan) keyPos() int { return sc.table.Schema.KeyIndexes()[0] }
 
-// complete issues one model call, counting it.
-func (sc *llmScan) complete(prompt string, seed int64) (llm.CompletionResponse, error) {
-	sc.stats.Prompts++
+// modelCall issues one raw model call. It does no accounting — callers own
+// prompt counting and critical-path bookkeeping — and is safe to invoke from
+// pool workers (Model implementations are concurrency-safe by contract).
+func (sc *llmScan) modelCall(prompt string, seed int64) (llm.CompletionResponse, error) {
 	return sc.store.model.Complete(llm.CompletionRequest{
 		Prompt:      prompt,
 		MaxTokens:   sc.cfg().MaxCompletionTokens,
@@ -184,16 +204,95 @@ func (sc *llmScan) complete(prompt string, seed int64) (llm.CompletionResponse, 
 	})
 }
 
-// runRounds repeatedly invokes fetch (one enumeration round per seed),
-// accumulating rows keyed by entity, until MaxRounds or the convergence
-// rule (StableRounds rounds without a new entity) stops it. At temperature
-// zero a single round is issued — greedy decoding cannot produce new rows —
-// unless promptVaries says each round changes the prompt (paged scans).
-func (sc *llmScan) runRounds(promptVaries bool, fetch func(seed int64) ([]rel.Row, error)) ([]rel.Row, error) {
+// addWall extends the scan's simulated critical path by d.
+func (sc *llmScan) addWall(d time.Duration) { sc.wall += d }
+
+// countCache attributes one consumed completion to the scan's cache
+// counters. Counting from the response's own Cached flag is exact even when
+// queries run concurrently (a global before/after counter diff is not), and
+// discarded speculative calls are never attributed, mirroring Prompts.
+func (sc *llmScan) countCache(cached bool) {
+	if sc.store.cache == nil {
+		return
+	}
+	if cached {
+		sc.stats.CacheHits++
+	} else {
+		sc.stats.CacheMisses++
+	}
+}
+
+// runRounds obtains one enumeration round per seed, accumulating rows keyed
+// by entity, until MaxRounds or the convergence rule (StableRounds rounds
+// without a new entity) stops it. At temperature zero a single round is
+// issued — greedy decoding cannot produce new rows — unless promptVaries
+// says each round changes the prompt (paged scans).
+//
+// issue performs the model call for one round; parse turns completion text
+// into rows. parse always runs on the scan goroutine in round order, so
+// parser statistics and caller state (paged exclude lists) need no locking.
+// When the prompt is constant across rounds (promptVaries == false) and
+// Parallelism allows, rounds are independent and are prefetched concurrently
+// — speculatively, since convergence may stop before consuming them all.
+// Consumed rounds are accounted exactly as in the serial path, so result
+// rows and ScanStats are byte-identical at any parallelism; discarded
+// speculative calls show up only in the model's Usage.
+func (sc *llmScan) runRounds(promptVaries bool, issue func(seed int64) (llm.CompletionResponse, error), parse func(text string) []rel.Row) ([]rel.Row, error) {
 	maxRounds := sc.cfg().MaxRounds
 	if sc.cfg().Temperature <= 0 && !promptVaries {
 		maxRounds = 1
 	}
+
+	// next yields round r's completion with critical-path accounting folded
+	// in: serial rounds chain their latencies; prefetched rounds become
+	// available at their virtual finish time under the lane scheduler.
+	serialNext := func(round int) (llm.CompletionResponse, error) {
+		resp, err := issue(int64(round))
+		if err == nil {
+			sc.addWall(resp.SimLatency)
+		}
+		return resp, err
+	}
+	next := serialNext
+	par := sc.cfg().Parallelism
+	if !promptVaries && par > 1 && maxRounds > 1 {
+		// Prefetch a window of min(Parallelism, MaxRounds) rounds
+		// concurrently. Speculation past the window would waste spend
+		// without shortening the critical path (the lanes are already
+		// full), so this caps discarded calls at Parallelism-1; rounds the
+		// convergence rule wants beyond the window run serially.
+		spec := par
+		if spec > maxRounds {
+			spec = maxRounds
+		}
+		resps := make([]llm.CompletionResponse, spec)
+		errs := make([]error, spec)
+		runTasks(par, spec, func(r int) error {
+			resps[r], errs[r] = issue(int64(r))
+			return nil // an error surfaces when (and if) its round is consumed
+		})
+		// The window never exceeds the lane count, so every round starts at
+		// virtual time zero and finishes after exactly its own latency.
+		finish := make([]time.Duration, spec)
+		for r := range resps {
+			finish[r] = resps[r].SimLatency
+		}
+		var consumedWall time.Duration
+		next = func(round int) (llm.CompletionResponse, error) {
+			if round >= spec {
+				return serialNext(round)
+			}
+			if errs[round] != nil {
+				return llm.CompletionResponse{}, errs[round]
+			}
+			if finish[round] > consumedWall {
+				sc.addWall(finish[round] - consumedWall)
+				consumedWall = finish[round]
+			}
+			return resps[round], nil
+		}
+	}
+
 	seenKeys := map[string]bool{}
 	appearances := map[string]int{} // rounds in which each entity appeared
 	dedup := sc.cfg().Dedup
@@ -201,10 +300,13 @@ func (sc *llmScan) runRounds(promptVaries bool, fetch func(seed int64) ([]rel.Ro
 	stable := 0
 	for round := 0; round < maxRounds; round++ {
 		sc.stats.Rounds++
-		rows, err := fetch(int64(round))
+		resp, err := next(round)
 		if err != nil {
 			return nil, err
 		}
+		sc.stats.Prompts++
+		sc.countCache(resp.Cached)
+		rows := parse(resp.Text)
 		newThisRound := 0
 		seenThisRound := map[string]bool{}
 		for _, row := range rows {
@@ -277,39 +379,49 @@ func entityKey(row rel.Row, keyPos int) string {
 
 func (sc *llmScan) runFullTable() ([]rel.Row, error) {
 	prompt := buildListPrompt(sc.table, sc.cols, sc.filter, nil, 0)
-	return sc.runRounds(false, func(seed int64) ([]rel.Row, error) {
-		resp, err := sc.complete(prompt, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows, stats := parseListCompletion(resp.Text, sc.table.Schema, sc.cols, sc.keyPos(), sc.cfg().Tolerant)
-		sc.stats.Parse.Add(stats)
-		return rows, nil
-	})
+	return sc.runRounds(false,
+		func(seed int64) (llm.CompletionResponse, error) {
+			return sc.modelCall(prompt, seed)
+		},
+		func(text string) []rel.Row {
+			rows, stats := parseListCompletion(text, sc.table.Schema, sc.cols, sc.keyPos(), sc.cfg().Tolerant)
+			sc.stats.Parse.Add(stats)
+			return rows
+		})
 }
 
 func (sc *llmScan) runPaged() ([]rel.Row, error) {
 	// Paged enumeration: each page excludes everything already seen; the
-	// rounds machinery handles convergence across pages.
+	// rounds machinery handles convergence across pages. Pages form a
+	// dependency chain (each prompt needs the previous pages' keys), so
+	// promptVaries keeps them strictly serial.
 	var exclude []string
 	excludeSet := map[string]bool{}
-	return sc.runRounds(true, func(seed int64) ([]rel.Row, error) {
-		prompt := buildListPrompt(sc.table, sc.cols, sc.filter, exclude, sc.cfg().PageSize)
-		resp, err := sc.complete(prompt, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows, stats := parseListCompletion(resp.Text, sc.table.Schema, sc.cols, sc.keyPos(), sc.cfg().Tolerant)
-		sc.stats.Parse.Add(stats)
-		for _, row := range rows {
-			key := entityKey(row, sc.keyPos())
-			if !excludeSet[key] {
-				excludeSet[key] = true
-				exclude = append(exclude, strings.TrimSpace(row[sc.keyPos()].AsText()))
+	return sc.runRounds(true,
+		func(seed int64) (llm.CompletionResponse, error) {
+			prompt := buildListPrompt(sc.table, sc.cols, sc.filter, exclude, sc.cfg().PageSize)
+			return sc.modelCall(prompt, seed)
+		},
+		func(text string) []rel.Row {
+			rows, stats := parseListCompletion(text, sc.table.Schema, sc.cols, sc.keyPos(), sc.cfg().Tolerant)
+			sc.stats.Parse.Add(stats)
+			for _, row := range rows {
+				key := entityKey(row, sc.keyPos())
+				if !excludeSet[key] {
+					excludeSet[key] = true
+					exclude = append(exclude, strings.TrimSpace(row[sc.keyPos()].AsText()))
+				}
 			}
-		}
-		return rows, nil
-	})
+			return rows
+		})
+}
+
+// attrVote is one self-consistency vote for one attribute cell.
+type attrVote struct {
+	val    rel.Value
+	ok     bool
+	cached bool
+	lat    time.Duration
 }
 
 func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
@@ -321,65 +433,90 @@ func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
 		keyFilter = nil
 	}
 	keyPrompt := buildKeysPrompt(sc.table, keyFilter, nil, 0)
-	keyRows, err := sc.runRounds(false, func(seed int64) ([]rel.Row, error) {
-		resp, err := sc.complete(keyPrompt, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows, stats := parseListCompletion(resp.Text, sc.table.Schema, []int{keyPos}, keyPos, sc.cfg().Tolerant)
-		sc.stats.Parse.Add(stats)
-		return rows, nil
-	})
+	keyRows, err := sc.runRounds(false,
+		func(seed int64) (llm.CompletionResponse, error) {
+			return sc.modelCall(keyPrompt, seed)
+		},
+		func(text string) []rel.Row {
+			rows, stats := parseListCompletion(text, sc.table.Schema, []int{keyPos}, keyPos, sc.cfg().Tolerant)
+			sc.stats.Parse.Add(stats)
+			return rows
+		})
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 2: one ATTR prompt per key and needed non-key column, with
-	// self-consistency voting.
+	// Votes-way self-consistency. Every (key, column, vote) call is
+	// independent of every other, so the whole phase fans out across the
+	// worker pool; votes land in index-disjoint slots and are merged in
+	// deterministic key/column/vote order afterwards, never in completion
+	// order.
+	attrCols := make([]int, 0, len(sc.cols))
+	for _, c := range sc.cols {
+		if c != keyPos {
+			attrCols = append(attrCols, c)
+		}
+	}
+	votes := sc.cfg().Votes
+	n := len(keyRows) * len(attrCols) * votes
+	results := make([]attrVote, n)
+	err = runTasks(sc.cfg().Parallelism, n, func(i int) error {
+		ki := i / (len(attrCols) * votes)
+		c := attrCols[i/votes%len(attrCols)]
+		v := i % votes
+		key := strings.TrimSpace(keyRows[ki][keyPos].AsText())
+		resp, err := sc.modelCall(buildAttrPrompt(sc.table, key, c), int64(1000+v))
+		if err != nil {
+			return err
+		}
+		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
+		results[i] = attrVote{val: val, ok: ok, cached: resp.Cached, lat: resp.SimLatency}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.stats.Prompts += n
+	// Replay the fan-out's latencies through the lane scheduler (in task
+	// order) to account the phase's simulated critical path.
+	sched := llm.NewSched(sc.cfg().Parallelism)
+	for i := range results {
+		sched.Add(results[i].lat)
+		sc.countCache(results[i].cached)
+	}
+	sc.addWall(sched.Makespan())
+
 	out := make([]rel.Row, 0, len(keyRows))
-	for _, keyRow := range keyRows {
-		key := strings.TrimSpace(keyRow[keyPos].AsText())
+	for ki, keyRow := range keyRows {
 		row := make(rel.Row, sc.table.Schema.Len())
 		for i := range row {
 			row[i] = rel.NullOf(sc.table.Schema.Col(i).Type)
 		}
 		row[keyPos] = keyRow[keyPos]
-		for _, c := range sc.cols {
-			if c == keyPos {
-				continue
-			}
-			v, err := sc.fetchAttr(key, c)
-			if err != nil {
-				return nil, err
-			}
-			row[c] = v
+		for ci, c := range attrCols {
+			base := (ki*len(attrCols) + ci) * votes
+			row[c] = mergeVotes(results[base:base+votes], sc.table.Schema.Col(c).Type)
 		}
 		out = append(out, row)
 	}
 	return out, nil
 }
 
-// fetchAttr retrieves one attribute with Votes-way self-consistency: the
-// value observed most often wins; ties break toward the earliest seed.
-func (sc *llmScan) fetchAttr(key string, col int) (rel.Value, error) {
-	t := sc.table.Schema.Col(col).Type
-	prompt := buildAttrPrompt(sc.table, key, col)
-	votes := sc.cfg().Votes
+// mergeVotes resolves one attribute cell from its self-consistency votes:
+// the value observed most often wins; ties break toward the earliest vote
+// seed; all-unparsable vote sets yield NULL.
+func mergeVotes(votes []attrVote, t rel.DataType) rel.Value {
 	counts := map[string]int{}
 	values := map[string]rel.Value{}
 	var order []string
-	for v := 0; v < votes; v++ {
-		resp, err := sc.complete(prompt, int64(1000+v))
-		if err != nil {
-			return rel.Value{}, err
-		}
-		val, ok := parseAttrCompletion(resp.Text, t, sc.cfg().Tolerant)
-		if !ok {
+	for _, vote := range votes {
+		if !vote.ok {
 			continue
 		}
-		k := (rel.Row{val}).AllKey()
+		k := (rel.Row{vote.val}).AllKey()
 		if _, seen := counts[k]; !seen {
-			values[k] = val
+			values[k] = vote.val
 			order = append(order, k)
 		}
 		counts[k]++
@@ -392,9 +529,9 @@ func (sc *llmScan) fetchAttr(key string, col int) (rel.Value, error) {
 		}
 	}
 	if bestN == 0 {
-		return rel.NullOf(t), nil
+		return rel.NullOf(t)
 	}
-	return values[best], nil
+	return values[best]
 }
 
 // filterUsesOnly reports whether every column reference in e is the named

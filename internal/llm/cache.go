@@ -1,0 +1,121 @@
+package llm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity bounds NewCache's memo table. 4096 entries covers the
+// working set of the benchmark suite's largest scan several times over while
+// keeping worst-case memory for real prompt sizes in the tens of megabytes.
+const DefaultCacheCapacity = 4096
+
+// CacheModel memoises completions keyed by (prompt, max tokens, temperature,
+// seed) with a bounded LRU eviction policy. It models a prompt cache in
+// front of the API: repeated identical requests cost nothing extra. Cached
+// responses come back with Cached set, so CountingModel charges them zero
+// latency and dollars.
+type CacheModel struct {
+	Inner Model
+
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*list.Element
+	order    *list.List // front = most recently used
+	stats    CacheStats
+}
+
+type cacheKey struct {
+	prompt    string
+	maxTokens int
+	temp      float64
+	seed      int64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	resp CompletionResponse
+}
+
+// CacheStats reports cache effectiveness and occupancy as raw counters
+// (the hit-rate ratio lives on metrics.Efficiency).
+type CacheStats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+	Size      int
+	Capacity  int
+}
+
+// NewCache wraps m with a memo table of DefaultCacheCapacity entries.
+func NewCache(m Model) *CacheModel { return NewCacheSized(m, DefaultCacheCapacity) }
+
+// NewCacheSized wraps m with a memo table bounded to capacity entries
+// (values < 1 fall back to DefaultCacheCapacity). Least-recently-used
+// entries are evicted when the bound is hit.
+func NewCacheSized(m Model, capacity int) *CacheModel {
+	if capacity < 1 {
+		capacity = DefaultCacheCapacity
+	}
+	return &CacheModel{
+		Inner:    m,
+		capacity: capacity,
+		entries:  make(map[cacheKey]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Name implements Model.
+func (c *CacheModel) Name() string { return c.Inner.Name() }
+
+// Unwrap implements Unwrapper.
+func (c *CacheModel) Unwrap() Model { return c.Inner }
+
+// Complete implements Model. The lock is released around the inner call so
+// misses for distinct prompts proceed concurrently; two simultaneous misses
+// for the same key both call the model (deterministic models return the same
+// response, so last-writer-wins insertion is harmless).
+func (c *CacheModel) Complete(req CompletionRequest) (CompletionResponse, error) {
+	key := cacheKey{req.Prompt, req.MaxTokens, req.Temperature, req.Seed}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.order.MoveToFront(el)
+		resp := el.Value.(*cacheEntry).resp
+		c.mu.Unlock()
+		resp.Cached = true
+		return resp, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+	resp, err := c.Inner.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent miss for the same key beat us; refresh in place.
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+		if c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// CacheStats returns a snapshot of the full counters.
+func (c *CacheModel) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.order.Len()
+	s.Capacity = c.capacity
+	return s
+}

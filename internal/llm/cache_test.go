@@ -1,0 +1,123 @@
+package llm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	inner := &echoModel{}
+	cache := NewCacheSized(inner, 2)
+	get := func(p string) {
+		t.Helper()
+		if _, err := cache.Complete(CompletionRequest{Prompt: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now LRU
+	get("c") // evicts b
+	s := cache.CacheStats()
+	if s.Evictions != 1 || s.Size != 2 || s.Capacity != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	get("a") // still cached
+	get("b") // evicted above -> miss, evicts c
+	s = cache.CacheStats()
+	if s.Hits != 2 || s.Misses != 4 || s.Evictions != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if inner.calls != 4 {
+		t.Fatalf("inner calls: %d", inner.calls)
+	}
+}
+
+func TestCacheBoundHolds(t *testing.T) {
+	cache := NewCacheSized(&echoModel{}, 8)
+	for i := 0; i < 100; i++ {
+		if _, err := cache.Complete(CompletionRequest{Prompt: fmt.Sprintf("p%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.CacheStats()
+	if s.Size != 8 {
+		t.Fatalf("size must stay bounded: %+v", s)
+	}
+	if s.Evictions != 92 {
+		t.Fatalf("evictions: %+v", s)
+	}
+	if len(cache.entries) != cache.order.Len() {
+		t.Fatalf("map/list out of sync: %d vs %d", len(cache.entries), cache.order.Len())
+	}
+}
+
+func TestNewCacheDefaultCapacity(t *testing.T) {
+	cache := NewCache(&echoModel{})
+	if got := cache.CacheStats().Capacity; got != DefaultCacheCapacity {
+		t.Fatalf("default capacity: %d", got)
+	}
+	// Nonsense capacities fall back to the default too.
+	if got := NewCacheSized(&echoModel{}, 0).CacheStats().Capacity; got != DefaultCacheCapacity {
+		t.Fatalf("zero capacity: %d", got)
+	}
+}
+
+func TestCacheMarksCachedResponses(t *testing.T) {
+	cache := NewCache(&echoModel{})
+	req := CompletionRequest{Prompt: "p"}
+	r1, err := cache.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first response must not be marked cached")
+	}
+	r2, err := cache.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("second response must be marked cached")
+	}
+	if r2.Text != r1.Text {
+		t.Fatal("cache changed the completion")
+	}
+}
+
+func TestCountingChargesNothingForCachedCalls(t *testing.T) {
+	cm := NewCounting(NewCache(&echoModel{}))
+	req := CompletionRequest{Prompt: "hello world"}
+	if _, err := cm.Complete(req); err != nil {
+		t.Fatal(err)
+	}
+	cold := cm.Usage()
+	if cold.SimLatency <= 0 || cold.TotalTokens() <= 0 {
+		t.Fatalf("cold call must be charged: %+v", cold)
+	}
+	if _, err := cm.Complete(req); err != nil {
+		t.Fatal(err)
+	}
+	warm := cm.Usage()
+	if warm.Calls != 2 || warm.CachedCalls != 1 {
+		t.Fatalf("call counting: %+v", warm)
+	}
+	if warm.SimLatency != cold.SimLatency || warm.SimDollars != cold.SimDollars ||
+		warm.TotalTokens() != cold.TotalTokens() {
+		t.Fatalf("cached call must be free: cold %+v warm %+v", cold, warm)
+	}
+}
+
+func TestFindCache(t *testing.T) {
+	inner := &echoModel{}
+	cache := NewCache(inner)
+	if FindCache(NewCounting(cache)) != cache {
+		t.Fatal("cache inside counting not found")
+	}
+	if FindCache(NewCounting(inner)) != nil {
+		t.Fatal("found a cache where there is none")
+	}
+	if FindCache(cache) != cache {
+		t.Fatal("bare cache not found")
+	}
+}

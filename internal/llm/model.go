@@ -28,6 +28,13 @@ type CompletionResponse struct {
 	CompletionTokens int
 	// Truncated reports that MaxTokens cut the completion.
 	Truncated bool
+	// Cached reports the response was served from a completion cache and
+	// therefore cost no latency or dollars (set by CacheModel).
+	Cached bool
+	// SimLatency is the simulated wall-clock time of this one call under the
+	// accounting CostModel (zero for cached responses; set by CountingModel).
+	// Schedulers use it to compute critical-path latency of concurrent scans.
+	SimLatency time.Duration
 }
 
 // Model is anything that completes prompts. Implementations must be safe
@@ -82,8 +89,17 @@ type Usage struct {
 	Calls            int
 	PromptTokens     int
 	CompletionTokens int
-	// SimLatency is the total simulated wall-clock time under a CostModel.
+	// CachedCalls counts calls answered by a completion cache (no latency
+	// or dollar cost).
+	CachedCalls int
+	// SimLatency is the total accumulated simulated latency under a
+	// CostModel: the sum over all calls, as if every call ran serially.
 	SimLatency time.Duration
+	// SimWall is the simulated critical-path (wall-clock) latency: the time
+	// the work actually takes when independent calls overlap under a bounded
+	// worker pool. Serial pipelines have SimWall == SimLatency; concurrent
+	// ones have SimWall < SimLatency. Scans report it via WallAdder.
+	SimWall time.Duration
 	// SimDollars is the total simulated spend.
 	SimDollars float64
 }
@@ -91,13 +107,60 @@ type Usage struct {
 // TotalTokens returns prompt+completion tokens.
 func (u Usage) TotalTokens() int { return u.PromptTokens + u.CompletionTokens }
 
+// Derived ratios (concurrency speedup, cache hit rate) live on
+// metrics.Efficiency — this package only keeps the raw counters.
+
 // Add merges another usage into u.
 func (u *Usage) Add(o Usage) {
 	u.Calls += o.Calls
 	u.PromptTokens += o.PromptTokens
 	u.CompletionTokens += o.CompletionTokens
+	u.CachedCalls += o.CachedCalls
 	u.SimLatency += o.SimLatency
+	u.SimWall += o.SimWall
 	u.SimDollars += o.SimDollars
+}
+
+// Sub returns u minus o field-wise (for before/after snapshots around one
+// query).
+func (u Usage) Sub(o Usage) Usage {
+	return Usage{
+		Calls:            u.Calls - o.Calls,
+		PromptTokens:     u.PromptTokens - o.PromptTokens,
+		CompletionTokens: u.CompletionTokens - o.CompletionTokens,
+		CachedCalls:      u.CachedCalls - o.CachedCalls,
+		SimLatency:       u.SimLatency - o.SimLatency,
+		SimWall:          u.SimWall - o.SimWall,
+		SimDollars:       u.SimDollars - o.SimDollars,
+	}
+}
+
+// WallAdder is implemented by model wrappers that track critical-path
+// latency. Scan pipelines call AddWall once per dependency chain with the
+// simulated makespan of that chain.
+type WallAdder interface {
+	AddWall(d time.Duration)
+}
+
+// Unwrapper exposes the next model in a wrapper chain (CountingModel,
+// CacheModel), so callers can locate a wrapper regardless of stacking order.
+type Unwrapper interface {
+	Unwrap() Model
+}
+
+// FindCache walks a wrapper chain and returns the first CacheModel, or nil.
+func FindCache(m Model) *CacheModel {
+	for m != nil {
+		if c, ok := m.(*CacheModel); ok {
+			return c
+		}
+		uw, ok := m.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		m = uw.Unwrap()
+	}
+	return nil
 }
 
 // CountingModel wraps a Model, accumulating Usage under a CostModel.
@@ -117,20 +180,45 @@ func NewCounting(m Model) *CountingModel {
 // Name implements Model.
 func (c *CountingModel) Name() string { return c.Inner.Name() }
 
-// Complete implements Model.
+// Unwrap implements Unwrapper.
+func (c *CountingModel) Unwrap() Model { return c.Inner }
+
+// Complete implements Model. Cached responses (see CacheModel) are counted
+// as calls but cost no tokens, latency or dollars; every response leaves
+// with SimLatency stamped so schedulers can reason about it.
 func (c *CountingModel) Complete(req CompletionRequest) (CompletionResponse, error) {
 	resp, err := c.Inner.Complete(req)
 	if err != nil {
 		return resp, err
 	}
+	var lat time.Duration
+	var usd float64
+	if !resp.Cached {
+		lat = c.Cost.Latency(resp.PromptTokens, resp.CompletionTokens)
+		usd = c.Cost.Dollars(resp.PromptTokens, resp.CompletionTokens)
+	}
+	resp.SimLatency = lat
 	c.mu.Lock()
 	c.usage.Calls++
-	c.usage.PromptTokens += resp.PromptTokens
-	c.usage.CompletionTokens += resp.CompletionTokens
-	c.usage.SimLatency += c.Cost.Latency(resp.PromptTokens, resp.CompletionTokens)
-	c.usage.SimDollars += c.Cost.Dollars(resp.PromptTokens, resp.CompletionTokens)
+	if resp.Cached {
+		c.usage.CachedCalls++
+	} else {
+		c.usage.PromptTokens += resp.PromptTokens
+		c.usage.CompletionTokens += resp.CompletionTokens
+	}
+	c.usage.SimLatency += lat
+	c.usage.SimDollars += usd
 	c.mu.Unlock()
 	return resp, nil
+}
+
+// AddWall implements WallAdder: it extends the critical-path latency by d.
+// Sequential dependency chains (scans of one query, queries of one session)
+// add their makespans.
+func (c *CountingModel) AddWall(d time.Duration) {
+	c.mu.Lock()
+	c.usage.SimWall += d
+	c.mu.Unlock()
 }
 
 // Usage returns a snapshot of the accumulated usage.
@@ -145,59 +233,4 @@ func (c *CountingModel) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.usage = Usage{}
-}
-
-// CacheModel memoises completions keyed by (prompt, max tokens, temperature,
-// seed). It models a prompt cache in front of the API: repeated identical
-// requests cost nothing extra.
-type CacheModel struct {
-	Inner Model
-
-	mu    sync.Mutex
-	cache map[cacheKey]CompletionResponse
-	hits  int
-	miss  int
-}
-
-type cacheKey struct {
-	prompt    string
-	maxTokens int
-	temp      float64
-	seed      int64
-}
-
-// NewCache wraps m with an unbounded memo table.
-func NewCache(m Model) *CacheModel {
-	return &CacheModel{Inner: m, cache: make(map[cacheKey]CompletionResponse)}
-}
-
-// Name implements Model.
-func (c *CacheModel) Name() string { return c.Inner.Name() }
-
-// Complete implements Model.
-func (c *CacheModel) Complete(req CompletionRequest) (CompletionResponse, error) {
-	key := cacheKey{req.Prompt, req.MaxTokens, req.Temperature, req.Seed}
-	c.mu.Lock()
-	if resp, ok := c.cache[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		return resp, nil
-	}
-	c.miss++
-	c.mu.Unlock()
-	resp, err := c.Inner.Complete(req)
-	if err != nil {
-		return resp, err
-	}
-	c.mu.Lock()
-	c.cache[key] = resp
-	c.mu.Unlock()
-	return resp, nil
-}
-
-// Stats returns (hits, misses).
-func (c *CacheModel) Stats() (int, int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.miss
 }

@@ -105,9 +105,9 @@ func TestCacheModel(t *testing.T) {
 	if inner.calls != 2 {
 		t.Fatalf("inner calls after seed change: %d", inner.calls)
 	}
-	hits, misses := cache.Stats()
-	if hits != 1 || misses != 2 {
-		t.Fatalf("stats: %d/%d", hits, misses)
+	s := cache.CacheStats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats: %+v", s)
 	}
 }
 

@@ -1,0 +1,53 @@
+package llm
+
+import "time"
+
+// Sched simulates list scheduling over a bounded pool of worker lanes in
+// virtual time. The engine's scan pipeline issues real concurrent calls, but
+// wall-clock latency there is the host's, not the simulated API's — so after
+// each fan-out the pipeline replays the per-call simulated latencies through
+// a Sched (in deterministic task order) to obtain the critical-path latency
+// the same fan-out would have had against a real provider.
+//
+// Add assigns each task to the earliest-free lane (greedy in submission
+// order, the classic list-scheduling bound). A Sched is not safe for
+// concurrent use: replay happens after the fan-out completes, in task-index
+// order, which also keeps the makespan independent of goroutine completion
+// order.
+type Sched struct {
+	lanes []time.Duration
+}
+
+// NewSched returns a scheduler with the given number of lanes (values < 1
+// mean 1: a serial chain whose makespan is the plain sum).
+func NewSched(parallelism int) *Sched {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &Sched{lanes: make([]time.Duration, parallelism)}
+}
+
+// Add schedules one task of duration d on the earliest-free lane and
+// returns the task's virtual finish time.
+func (s *Sched) Add(d time.Duration) time.Duration {
+	best := 0
+	for i := 1; i < len(s.lanes); i++ {
+		if s.lanes[i] < s.lanes[best] {
+			best = i
+		}
+	}
+	s.lanes[best] += d
+	return s.lanes[best]
+}
+
+// Makespan returns the virtual time at which the last lane goes idle: the
+// simulated wall-clock latency of everything added so far.
+func (s *Sched) Makespan() time.Duration {
+	var m time.Duration
+	for _, free := range s.lanes {
+		if free > m {
+			m = free
+		}
+	}
+	return m
+}

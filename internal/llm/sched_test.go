@@ -1,0 +1,70 @@
+package llm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedSerialIsSum(t *testing.T) {
+	s := NewSched(1)
+	s.Add(100 * time.Millisecond)
+	s.Add(200 * time.Millisecond)
+	s.Add(300 * time.Millisecond)
+	if got := s.Makespan(); got != 600*time.Millisecond {
+		t.Fatalf("serial makespan: %v", got)
+	}
+}
+
+func TestSchedWideIsMax(t *testing.T) {
+	s := NewSched(8)
+	for _, d := range []time.Duration{100, 200, 300} {
+		s.Add(d * time.Millisecond)
+	}
+	if got := s.Makespan(); got != 300*time.Millisecond {
+		t.Fatalf("wide makespan: %v", got)
+	}
+}
+
+func TestSchedGreedyAssignment(t *testing.T) {
+	// 2 lanes, tasks 3,3,1,1,4: greedy gives lanes (3,1,...) and (3,1) ->
+	// the 4 lands on a lane at 4, finishing at 8.
+	s := NewSched(2)
+	for _, d := range []time.Duration{3, 3, 1, 1, 4} {
+		s.Add(d * time.Second)
+	}
+	if got := s.Makespan(); got != 8*time.Second {
+		t.Fatalf("greedy makespan: %v", got)
+	}
+}
+
+func TestSchedFinishTimes(t *testing.T) {
+	s := NewSched(2)
+	if f := s.Add(2 * time.Second); f != 2*time.Second {
+		t.Fatalf("first finish: %v", f)
+	}
+	if f := s.Add(1 * time.Second); f != 1*time.Second {
+		t.Fatalf("second finish: %v", f)
+	}
+	// Earliest-free lane is the one that finished at 1s.
+	if f := s.Add(3 * time.Second); f != 4*time.Second {
+		t.Fatalf("third finish: %v", f)
+	}
+}
+
+func TestSchedClampsParallelism(t *testing.T) {
+	s := NewSched(0)
+	s.Add(time.Second)
+	s.Add(time.Second)
+	if got := s.Makespan(); got != 2*time.Second {
+		t.Fatalf("clamped scheduler must be serial: %v", got)
+	}
+}
+
+func TestUsageSub(t *testing.T) {
+	a := Usage{Calls: 5, CachedCalls: 2, PromptTokens: 100, SimWall: 3 * time.Second}
+	b := Usage{Calls: 2, CachedCalls: 1, PromptTokens: 40, SimWall: time.Second}
+	d := a.Sub(b)
+	if d.Calls != 3 || d.CachedCalls != 1 || d.PromptTokens != 60 || d.SimWall != 2*time.Second {
+		t.Fatalf("sub: %+v", d)
+	}
+}

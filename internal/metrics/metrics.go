@@ -1,15 +1,57 @@
 // Package metrics scores LLM-retrieved relations against ground truth:
 // tuple-set precision/recall/F1 at entity-key granularity, exact-row
 // matching with numeric tolerance, per-cell attribute accuracy,
-// hallucination rate, and relative error of aggregate answers.
+// hallucination rate, and relative error of aggregate answers. It also
+// summarizes execution cost (Efficiency): calls, tokens, total vs
+// critical-path simulated latency, and completion-cache effectiveness.
 package metrics
 
 import (
 	"math"
 	"strings"
+	"time"
 
 	"llmsql/internal/rel"
 )
+
+// Efficiency summarizes the execution cost of an LLM-backed query or scan.
+// TotalLatency accumulates every call as if serial; WallLatency is the
+// simulated critical path under the engine's worker pool, so
+// TotalLatency/WallLatency is the concurrency speedup.
+type Efficiency struct {
+	// Calls issued to the model; CachedCalls of them were answered by a
+	// completion cache at zero cost.
+	Calls       int
+	CachedCalls int
+	// Tokens is prompt+completion tokens actually charged.
+	Tokens int
+	// TotalLatency is the accumulated simulated latency of all calls.
+	TotalLatency time.Duration
+	// WallLatency is the simulated critical-path (wall-clock) latency.
+	WallLatency time.Duration
+	// CacheHits and CacheMisses count completion-cache lookups.
+	CacheHits   int
+	CacheMisses int
+}
+
+// Speedup is total over wall latency: how much concurrency compressed the
+// serial cost (1 when unknown). Cached calls contribute zero to both
+// latencies, so the ratio measures concurrency overlap only — cache
+// effectiveness is CacheHitRate.
+func (e Efficiency) Speedup() float64 {
+	if e.WallLatency <= 0 || e.TotalLatency <= 0 {
+		return 1
+	}
+	return float64(e.TotalLatency) / float64(e.WallLatency)
+}
+
+// CacheHitRate is hits over cache lookups (0 before any lookup).
+func (e Efficiency) CacheHitRate() float64 {
+	if e.CacheHits+e.CacheMisses == 0 {
+		return 0
+	}
+	return float64(e.CacheHits) / float64(e.CacheHits+e.CacheMisses)
+}
 
 // SetMetrics compares a retrieved row set against ground truth.
 type SetMetrics struct {

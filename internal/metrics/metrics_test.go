@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"testing"
+	"time"
 
 	"llmsql/internal/rel"
 )
@@ -178,5 +179,23 @@ func TestCompareCompositeKey(t *testing.T) {
 	m := Compare(result, truth, Options{KeyIdx: []int{0, 1}})
 	if m.KeyMatched != 1 || m.Recall() != 0.5 || m.ExactMatched != 1 {
 		t.Fatalf("composite key: %+v", m)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	e := Efficiency{
+		Calls: 100, CachedCalls: 20, Tokens: 5000,
+		TotalLatency: 80 * time.Second, WallLatency: 10 * time.Second,
+		CacheHits: 20, CacheMisses: 80,
+	}
+	if got := e.Speedup(); got != 8 {
+		t.Fatalf("speedup: %v", got)
+	}
+	if got := e.CacheHitRate(); got != 0.2 {
+		t.Fatalf("hit rate: %v", got)
+	}
+	zero := Efficiency{}
+	if zero.Speedup() != 1 || zero.CacheHitRate() != 0 {
+		t.Fatalf("zero-value efficiency: %v %v", zero.Speedup(), zero.CacheHitRate())
 	}
 }

@@ -13,9 +13,17 @@
 //	}
 //	res, err := eng.Query(`SELECT name, capital FROM country WHERE population > 50`)
 //
+// Scans can fan out across a bounded worker pool (Config.Parallelism) and
+// be fronted by a bounded LRU completion cache (Config.CacheCapacity);
+// result rows are byte-identical to the serial path (merge order is
+// deterministic, and speculatively prefetched rounds the convergence rule
+// discards are paid for in Usage but never parsed — see Config.Parallelism
+// for the fine print on stats), and QueryResult.Usage reports both total
+// accumulated and critical-path simulated latency.
+//
 // The facade re-exports the stable surface of the internal packages; see
-// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
-// evaluation.
+// README.md for an overview, DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduced evaluation.
 package llmsql
 
 import (
@@ -122,8 +130,32 @@ var (
 	ProfileSmall  = llm.ProfileSmall
 )
 
-// Usage accumulates model consumption. See llm.Usage.
+// Usage accumulates model consumption, including total accumulated
+// (SimLatency) and critical-path (SimWall) simulated latency. See
+// llm.Usage.
 type Usage = llm.Usage
+
+// CostModel converts token usage into simulated latency and dollars. See
+// llm.CostModel.
+type CostModel = llm.CostModel
+
+// DefaultCostModel returns the benchmark harness's cost constants.
+func DefaultCostModel() CostModel { return llm.DefaultCostModel() }
+
+// CacheModel is a bounded LRU completion cache wrapper. See llm.CacheModel.
+type CacheModel = llm.CacheModel
+
+// CacheStats reports completion-cache effectiveness. See llm.CacheStats.
+type CacheStats = llm.CacheStats
+
+// NewCache wraps a model with an LRU completion cache of the default
+// capacity. Engines configured with Config.CacheCapacity manage their own
+// cache; this wrapper is for standalone model stacks.
+func NewCache(m Model) *CacheModel { return llm.NewCache(m) }
+
+// NewCacheSized wraps a model with an LRU completion cache bounded to
+// capacity entries (values < 1 select the default capacity).
+func NewCacheSized(m Model, capacity int) *CacheModel { return llm.NewCacheSized(m, capacity) }
 
 // NewSynthLM builds the deterministic simulated LLM over a world.
 func NewSynthLM(w *World, profile NoiseProfile, seed int64) *llm.SynthLM {
