@@ -1,8 +1,9 @@
 GO ?= go
+BENCH_CURRENT ?= /tmp/llmsql_bench_current.json
 
-.PHONY: check fmt vet build test race bench baseline
+.PHONY: check fmt vet build test race staticcheck bench baseline bench-check fuzz
 
-## check: everything CI runs
+## check: everything the CI lint+test jobs run
 check: fmt vet build race
 
 fmt:
@@ -21,6 +22,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+## staticcheck: lint with staticcheck (install: go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)
+staticcheck:
+	staticcheck ./...
+
 ## bench: full-scale experiment suite to stdout
 bench:
 	$(GO) run ./cmd/llmsql-bench
@@ -28,3 +33,13 @@ bench:
 ## baseline: regenerate the checked-in perf baseline
 baseline:
 	$(GO) run ./cmd/llmsql-bench -json > BENCH_baseline.json
+
+## bench-check: run the suite and fail on call/token/wall-latency regressions vs BENCH_baseline.json
+bench-check:
+	$(GO) run ./cmd/llmsql-bench -json > $(BENCH_CURRENT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current $(BENCH_CURRENT)
+
+## fuzz: 30s smoke of each native fuzz target (same as the CI fuzz job)
+fuzz:
+	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime 30s
+	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime 30s

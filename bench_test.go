@@ -117,3 +117,7 @@ func BenchmarkFigure7Crossover(b *testing.B) {
 func BenchmarkTable8Confidence(b *testing.B) {
 	runExperiment(b, bench.Table8Confidence, "precision", "precision")
 }
+
+func BenchmarkTable10Batching(b *testing.B) {
+	runExperiment(b, bench.Table10Batching, "calls", "calls")
+}

@@ -1,0 +1,219 @@
+// Command benchdiff gates performance regressions: it compares a current
+// `llmsql-bench -json` run against the checked-in baseline
+// (BENCH_baseline.json) and fails when a watched metric regresses beyond
+// the tolerance.
+//
+// Watched metrics are the machine-readable (CSV) columns of the efficiency
+// experiments whose header names contain "calls", "tokens" or "wall" —
+// call counts, token spend and simulated critical-path latency, the three
+// quantities every PR is supposed to move in the right direction. Lower is
+// better for all of them: a current value may be at most
+// baseline*(1+tol) (plus a +2 absolute allowance so tiny counts don't trip
+// on noise). Improvements never fail, but large ones are reported so the
+// baseline gets regenerated (`make baseline`).
+//
+// Experiments present in the baseline must still exist in the current run
+// (and so must their rows); brand-new experiments in the current run are
+// ignored until the baseline is regenerated to include them.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current current.json [-tol 0.15]
+//
+// Exit status: 0 clean, 1 regression or comparison failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"llmsql/internal/bench"
+)
+
+// run mirrors cmd/llmsql-bench's -json output shape.
+type run struct {
+	Seed    int64          `json:"seed"`
+	Scale   float64        `json:"scale"`
+	Reports []bench.Report `json:"reports"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline run (llmsql-bench -json output)")
+		currentPath  = flag.String("current", "", "current run to compare ('-' or empty reads stdin)")
+		tol          = flag.Float64("tol", 0.15, "allowed relative regression per watched metric")
+	)
+	flag.Parse()
+
+	base, err := loadRun(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadRun(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if base.Seed != cur.Seed || base.Scale != cur.Scale {
+		fatal(fmt.Errorf("runs are not comparable: baseline seed=%d scale=%g vs current seed=%d scale=%g",
+			base.Seed, base.Scale, cur.Seed, cur.Scale))
+	}
+
+	var regressions, improvements []string
+	checked := 0
+	curByID := map[string]bench.Report{}
+	for _, r := range cur.Reports {
+		curByID[r.ID] = r
+	}
+	for _, br := range base.Reports {
+		if br.CSV == "" {
+			continue
+		}
+		cr, ok := curByID[br.ID]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: experiment missing from current run", br.ID))
+			continue
+		}
+		regs, imps, n, err := compareCSV(br.ID, br.CSV, cr.CSV, *tol)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", br.ID, err))
+		}
+		regressions = append(regressions, regs...)
+		improvements = append(improvements, imps...)
+		checked += n
+	}
+
+	for _, s := range improvements {
+		fmt.Printf("note: %s (consider `make baseline`)\n", s)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) against %s (tolerance %.0f%%):\n", len(regressions), *baselinePath, 100**tol)
+		for _, s := range regressions {
+			fmt.Println("  " + s)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK — %d watched metrics within %.0f%% of %s\n", checked, 100**tol, *baselinePath)
+}
+
+// compareCSV diffs the watched columns of one experiment's CSV series.
+// Rows are matched by their first-column label so reordering or appended
+// rows never misalign the comparison.
+func compareCSV(id, baseCSV, curCSV string, tol float64) (regressions, improvements []string, checked int, err error) {
+	baseHdr, baseRows, err := parseCSV(baseCSV)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	curHdr, curRows, err := parseCSV(curCSV)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	curCol := map[string]int{}
+	for i, h := range curHdr {
+		curCol[h] = i
+	}
+	for bi, col := range baseHdr {
+		if !watched(col) {
+			continue
+		}
+		ci, ok := curCol[col]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: column %q missing from current run", id, col))
+			continue
+		}
+		for label, baseRow := range baseRows {
+			curRow, ok := curRows[label]
+			if !ok {
+				regressions = append(regressions, fmt.Sprintf("%s [%s]: row missing from current run", id, label))
+				continue
+			}
+			if bi >= len(baseRow) || ci >= len(curRow) {
+				continue
+			}
+			baseVal, bok := parseMetric(baseRow[bi])
+			curVal, cok := parseMetric(curRow[ci])
+			if !bok || !cok {
+				continue // non-numeric cell (labels, booleans, blanks)
+			}
+			checked++
+			// Lower is better; +2 absolute slack keeps tiny counts from
+			// tripping on simulation noise.
+			if curVal > baseVal*(1+tol)+2 {
+				regressions = append(regressions, fmt.Sprintf("%s [%s] %s: %s -> %s (+%.0f%%)",
+					id, label, col, baseRow[bi], curRow[ci], 100*(curVal/baseVal-1)))
+			} else if baseVal > 0 && curVal < baseVal*(1-tol)-2 {
+				improvements = append(improvements, fmt.Sprintf("%s [%s] %s improved: %s -> %s",
+					id, label, col, baseRow[bi], curRow[ci]))
+			}
+		}
+	}
+	return regressions, improvements, checked, nil
+}
+
+// watched reports whether a CSV column participates in the perf gate.
+func watched(col string) bool {
+	c := strings.ToLower(col)
+	return strings.Contains(c, "calls") || strings.Contains(c, "tokens") || strings.Contains(c, "wall")
+}
+
+// parseCSV splits a report's CSV series into its header and rows keyed by
+// first-column label.
+func parseCSV(s string) ([]string, map[string][]string, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 2 {
+		return nil, nil, fmt.Errorf("CSV series has no data rows")
+	}
+	header := strings.Split(lines[0], ",")
+	rows := make(map[string][]string, len(lines)-1)
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) == 0 || strings.TrimSpace(fields[0]) == "" {
+			continue
+		}
+		rows[strings.TrimSpace(fields[0])] = fields
+	}
+	return header, rows, nil
+}
+
+// parseMetric reads a cell as a plain number or a Go duration (seconds).
+func parseMetric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, true
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return d.Seconds(), true
+	}
+	return 0, false
+}
+
+func loadRun(path string) (run, error) {
+	var r run
+	var data []byte
+	var err error
+	if path == "" || path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

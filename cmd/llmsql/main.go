@@ -36,10 +36,11 @@ func main() {
 	var (
 		seed      = flag.Int64("seed", 2024, "world and model seed")
 		profile   = flag.String("model", "medium", "model quality tier: small, medium, large")
-		strategy  = flag.String("strategy", "full-table", "prompt strategy: full-table, key-then-attr, paged")
+		strategy  = flag.String("strategy", "full-table", "prompt strategy: full-table, key-then-attr, paged, auto (cost-based per table)")
 		temp      = flag.Float64("temp", 0.7, "sampling temperature")
 		rounds    = flag.Int("rounds", 8, "max sampling rounds")
 		votes     = flag.Int("votes", 1, "self-consistency votes for attribute retrieval")
+		batch     = flag.Int("batch", 1, "keys per batched ATTR prompt on the key-then-attr path (1 = unbatched)")
 		parallel  = flag.Int("parallel", 1, "worker-pool width for concurrent model calls (1 = serial)")
 		cacheCap  = flag.Int("cache", 0, "completion-cache capacity in entries (0 = off, negative = default)")
 		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts")
@@ -67,6 +68,7 @@ func main() {
 	cfg.Temperature = *temp
 	cfg.MaxRounds = *rounds
 	cfg.Votes = *votes
+	cfg.BatchSize = *batch
 	cfg.Parallelism = *parallel
 	cfg.CacheCapacity = *cacheCap
 	cfg.Pushdown = *pushdown
@@ -130,7 +132,10 @@ func main() {
 			res.Usage.SimLatency.Round(1e6), res.Usage.SimWall.Round(1e6), res.Usage.SimDollars)
 		for _, s := range res.Scans {
 			fmt.Printf("scan %s [%s]: %d prompts, %d rounds, %d rows, %d dupes dropped, %d repairs",
-				s.Table, s.Strategy, s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
+				s.Table, s.Label(), s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
+			if s.BatchedPrompts > 0 {
+				fmt.Printf(", %d batched (%d fallbacks)", s.BatchedPrompts, s.BatchFallbacks)
+			}
 			if s.CacheHits+s.CacheMisses > 0 {
 				fmt.Printf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
 			}
@@ -207,6 +212,8 @@ func strategyByName(name string) (core.Strategy, error) {
 		return core.StrategyKeyThenAttr, nil
 	case "paged":
 		return core.StrategyPaged, nil
+	case "auto":
+		return core.StrategyAuto, nil
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", name)
 	}

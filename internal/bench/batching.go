@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"llmsql/internal/core"
+	"llmsql/internal/llm"
+	"llmsql/internal/rel"
+)
+
+// renderKeys serializes the key column (first output column) of a result,
+// to assert that batching changes prompt counts but never which entities
+// come back or in what order.
+func renderKeys(rows []rel.Row) string {
+	var b strings.Builder
+	for _, row := range rows {
+		b.WriteString(row[0].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table10Batching sweeps Config.BatchSize on the key-then-attr hot path:
+// the ATTR phase pays one prompt per key x column x vote unbatched, and
+// ~1/BatchSize of that batched, with identical key sets and row order.
+// The batch=1 row is the PR 1 baseline the call-count reduction is measured
+// against. A final row runs Strategy auto at batch 8: the cost-based
+// planner prices all three decompositions for the same workload and runs
+// the cheapest, which on an enumeration-heavy scan undercuts even the
+// batched key-then-attr path.
+func Table10Batching(o Options) (Report, error) {
+	o = o.normalize()
+	w := o.buildWorld()
+
+	var baselineCalls int
+	var baseKeys string
+	var batch8Calls int
+	t := NewTable("batch", "strategy", "calls", "batched", "fallbacks", "tokens", "wall latency", "rows", "same keys")
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		cfg := keyThenAttrConfig()
+		cfg.Parallelism = 8
+		cfg.BatchSize = b
+		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+15)
+		res, err := e.Query(concurrencyQuery)
+		if err != nil {
+			return Report{}, err
+		}
+		keys := renderKeys(res.Result.Rows)
+		if b == 1 {
+			baselineCalls = res.Usage.Calls
+			baseKeys = keys
+		}
+		if b == 8 {
+			batch8Calls = res.Usage.Calls
+		}
+		batched, fallbacks := 0, 0
+		for _, s := range res.Scans {
+			batched += s.BatchedPrompts
+			fallbacks += s.BatchFallbacks
+		}
+		t.AddRow(d(b), scanStrategyLabel(res.Scans), d(res.Usage.Calls), d(batched), d(fallbacks),
+			d(res.Usage.TotalTokens()), res.Usage.SimWall.Round(1e6).String(),
+			d(len(res.Result.Rows)), fmt.Sprintf("%v", keys == baseKeys))
+	}
+
+	// Cost-based planning on the same workload: auto prices the candidates
+	// and is free to leave key-then-attr entirely.
+	cfg := keyThenAttrConfig()
+	cfg.Parallelism = 8
+	cfg.BatchSize = 8
+	cfg.Strategy = core.StrategyAuto
+	e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+15)
+	res, err := e.Query(concurrencyQuery)
+	if err != nil {
+		return Report{}, err
+	}
+	t.AddRow("8 (auto)", scanStrategyLabel(res.Scans), d(res.Usage.Calls), "", "",
+		d(res.Usage.TotalTokens()), res.Usage.SimWall.Round(1e6).String(),
+		d(len(res.Result.Rows)), "-")
+
+	extra := ""
+	if batch8Calls > 0 {
+		extra = fmt.Sprintf("\nLLM calls at batch 8 vs the unbatched baseline: %d vs %d (%.1fx fewer).\n",
+			batch8Calls, baselineCalls, float64(baselineCalls)/float64(batch8Calls))
+	}
+	return Report{
+		ID: "Table 10",
+		Title: "Batched ATTR prompts: calls/tokens/wall latency vs batch size " +
+			"(key-then-attr, 3 votes, parallelism 8, medium model; batch 1 is the unbatched baseline)",
+		Body: t.String() + extra,
+		CSV:  t.CSV(),
+	}, nil
+}
+
+// scanStrategyLabel names the strategies the query's scans ran.
+func scanStrategyLabel(scans []core.ScanStats) string {
+	var parts []string
+	for _, s := range scans {
+		parts = append(parts, s.Label())
+	}
+	return strings.Join(parts, ",")
+}

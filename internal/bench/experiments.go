@@ -148,9 +148,8 @@ func Table4Strategies(o Options) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		prompts := 0
 		// usage.Calls equals prompt count for a single-scan query.
-		prompts = usage.Calls
+		prompts := usage.Calls
 		t.AddRow(strat.String(), f3(m.Precision()), f3(m.Recall()), f3(m.F1()),
 			f3(m.AttrAccuracy()), d(prompts), d(usage.TotalTokens()))
 	}

@@ -272,6 +272,7 @@ func RunAll(o Options) ([]Report, error) {
 		Table7Ablations,
 		Table8Confidence,
 		Table9Parallelism,
+		Table10Batching,
 		Figure4Convergence,
 		Figure5ModelQuality,
 		Figure6Popularity,

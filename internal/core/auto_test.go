@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"llmsql/internal/llm"
+	"llmsql/internal/world"
+)
+
+func autoTestEngine(t *testing.T, mut func(*Config)) (*Engine, *world.World) {
+	t.Helper()
+	w := world.Generate(world.Config{Seed: 11, Countries: 40, Movies: 20, Laureates: 10, Companies: 10})
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyAuto
+	if mut != nil {
+		mut(&cfg)
+	}
+	e := New(llm.NewSynthLM(w, llm.ProfileMedium, 11), cfg)
+	for _, name := range w.DomainNames() {
+		e.RegisterWorldDomain(w.Domain(name))
+	}
+	return e, w
+}
+
+// TestExplainAutoDecision: EXPLAIN of an auto-strategy engine surfaces the
+// chosen decomposition and the full per-strategy cost breakdown.
+func TestExplainAutoDecision(t *testing.T) {
+	e, _ := autoTestEngine(t, nil)
+	out, err := e.Explain("SELECT name, capital FROM country WHERE population > 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"auto=", "est-rows=40", "full-table:", "paged:", "key-then-attr:", "$"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainForcedStrategyDecision: with a fixed strategy the decision is
+// reported as forced, candidates stay advisory.
+func TestExplainForcedStrategyDecision(t *testing.T) {
+	e, _ := autoTestEngine(t, func(c *Config) { c.Strategy = StrategyKeyThenAttr })
+	out, err := e.Explain("SELECT name FROM country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy=key-then-attr") {
+		t.Fatalf("EXPLAIN should report the forced strategy:\n%s", out)
+	}
+	if strings.Contains(out, "auto=") {
+		t.Fatalf("forced strategy must not be labelled auto:\n%s", out)
+	}
+}
+
+// TestAutoQueryRunsChosenStrategy: executing under auto resolves to a
+// concrete strategy, reports it in ScanStats with the Auto flag, and the
+// chosen strategy matches the planner's annotation.
+func TestAutoQueryRunsChosenStrategy(t *testing.T) {
+	e, _ := autoTestEngine(t, nil)
+	res, err := e.Query("SELECT name, capital FROM country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scans) != 1 {
+		t.Fatalf("want 1 scan, got %d", len(res.Scans))
+	}
+	s := res.Scans[0]
+	if !s.Auto {
+		t.Fatal("ScanStats.Auto not set under StrategyAuto")
+	}
+	if s.Strategy == StrategyAuto {
+		t.Fatal("ScanStats.Strategy must be the resolved strategy, not auto")
+	}
+	if !strings.Contains(res.Plan, "auto="+s.Strategy.String()) {
+		t.Fatalf("plan annotation (%s) disagrees with executed strategy %s", res.Plan, s.Strategy)
+	}
+	if len(res.Result.Rows) == 0 {
+		t.Fatal("auto scan returned no rows")
+	}
+}
+
+// TestAutoCardinalityRefinement: prior-scan statistics replace the
+// registration estimate in later decisions.
+func TestAutoCardinalityRefinement(t *testing.T) {
+	e, _ := autoTestEngine(t, nil)
+	d, ok := e.store.ScanDecision("country", nil)
+	if !ok {
+		t.Fatal("no decision for registered table")
+	}
+	if d.EstRows != 40 {
+		t.Fatalf("initial estimate should come from world metadata (40), got %d", d.EstRows)
+	}
+	res, err := e.Query("SELECT name FROM country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(res.Result.Rows)
+	d, _ = e.store.ScanDecision("country", nil)
+	if d.EstRows != got {
+		t.Fatalf("estimate after scan should equal observed rows %d, got %d", got, d.EstRows)
+	}
+}
+
+// TestFilteredScanDoesNotPolluteCardinality: a pushed-down predicate makes
+// the emitted row count a selectivity artifact; it must not overwrite the
+// table's cardinality estimate.
+func TestFilteredScanDoesNotPolluteCardinality(t *testing.T) {
+	e, _ := autoTestEngine(t, nil)
+	if _, err := e.Query("SELECT name FROM country WHERE population > 5000"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := e.store.ScanDecision("country", nil)
+	if d.EstRows != 40 {
+		t.Fatalf("filtered scan changed the cardinality estimate: %d", d.EstRows)
+	}
+	// An unfiltered scan still refines it.
+	res, err := e.Query("SELECT name FROM country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ = e.store.ScanDecision("country", nil)
+	if d.EstRows != len(res.Result.Rows) {
+		t.Fatalf("unfiltered scan should refine the estimate to %d, got %d", len(res.Result.Rows), d.EstRows)
+	}
+}
+
+// TestAutoDeterministic: two identical engines make identical decisions and
+// return byte-identical rows under auto.
+func TestAutoDeterministic(t *testing.T) {
+	run := func() (string, string) {
+		e, _ := autoTestEngine(t, nil)
+		out, err := e.Explain("SELECT name, capital FROM country")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Query("SELECT name, capital FROM country")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, renderRowsTest(res)
+	}
+	p1, r1 := run()
+	p2, r2 := run()
+	if p1 != p2 {
+		t.Fatalf("plans differ:\n%s\nvs\n%s", p1, p2)
+	}
+	if r1 != r2 {
+		t.Fatal("rows differ between identical auto engines")
+	}
+}
+
+func renderRowsTest(res *QueryResult) string {
+	var b strings.Builder
+	for _, row := range res.Result.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

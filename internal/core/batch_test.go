@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"llmsql/internal/llm"
+	"llmsql/internal/rel"
+	"llmsql/internal/world"
+)
+
+// batchTestQuery retrieves two attribute columns, so the key-then-attr
+// phase has real fan-out to batch.
+const batchTestQuery = "SELECT name, capital, population FROM country"
+
+func batchTestEngine(t *testing.T, strategy Strategy, batch, parallelism int, profile llm.NoiseProfile) *Engine {
+	t.Helper()
+	w := world.Generate(world.Config{Seed: 21, Countries: 80, Movies: 10, Laureates: 5, Companies: 5})
+	cfg := DefaultConfig()
+	cfg.Strategy = strategy
+	cfg.Votes = 3
+	cfg.MaxRounds = 3
+	cfg.BatchSize = batch
+	cfg.Parallelism = parallelism
+	e := New(llm.NewSynthLM(w, profile, 21), cfg)
+	for _, name := range w.DomainNames() {
+		e.RegisterWorldDomain(w.Domain(name))
+	}
+	return e
+}
+
+func queryRows(t *testing.T, e *Engine, query string) (*QueryResult, string) {
+	t.Helper()
+	res, err := e.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, renderRowsTest(res)
+}
+
+// TestBatchNoOpOnEnumerationStrategies: BatchSize only affects the
+// key-then-attr ATTR phase; full-table and paged results must be
+// byte-identical at any batch size.
+func TestBatchNoOpOnEnumerationStrategies(t *testing.T) {
+	for _, strat := range []Strategy{StrategyFullTable, StrategyPaged} {
+		_, base := queryRows(t, batchTestEngine(t, strat, 1, 1, llm.ProfileMedium), batchTestQuery)
+		res, batched := queryRows(t, batchTestEngine(t, strat, 8, 1, llm.ProfileMedium), batchTestQuery)
+		if base != batched {
+			t.Fatalf("%s: BatchSize changed rows", strat)
+		}
+		for _, s := range res.Scans {
+			if s.BatchedPrompts != 0 || s.BatchFallbacks != 0 {
+				t.Fatalf("%s: batching stats on a non-ATTR strategy: %+v", strat, s)
+			}
+		}
+	}
+}
+
+// TestBatchSameKeysFewerPrompts: on key-then-attr, batching must preserve
+// the retrieved key set and row order exactly (phase 1 is untouched and the
+// merge is key-ordered) while cutting prompts by roughly the batch factor.
+func TestBatchSameKeysFewerPrompts(t *testing.T) {
+	base, baseRows := queryRows(t, batchTestEngine(t, StrategyKeyThenAttr, 1, 1, llm.ProfileMedium), batchTestQuery)
+	batched, batchedRows := queryRows(t, batchTestEngine(t, StrategyKeyThenAttr, 8, 1, llm.ProfileMedium), batchTestQuery)
+
+	keysOf := func(s string) []string {
+		var keys []string
+		for _, line := range splitLines(s) {
+			if i := indexByte(line, '|'); i >= 0 {
+				keys = append(keys, line[:i])
+			}
+		}
+		return keys
+	}
+	bk, ck := keysOf(baseRows), keysOf(batchedRows)
+	if len(bk) != len(ck) {
+		t.Fatalf("row count changed: %d vs %d", len(bk), len(ck))
+	}
+	for i := range bk {
+		if bk[i] != ck[i] {
+			t.Fatalf("key order changed at %d: %q vs %q", i, bk[i], ck[i])
+		}
+	}
+	if batched.Usage.Calls*4 > base.Usage.Calls {
+		t.Fatalf("batch 8 should cut calls >= 4x: %d vs %d", batched.Usage.Calls, base.Usage.Calls)
+	}
+	if batched.Scans[0].BatchedPrompts == 0 {
+		t.Fatal("no batched prompts recorded")
+	}
+}
+
+// TestBatchDeterministicAcrossParallelism: the batched path must stay
+// byte-identical at any worker-pool width (run under -race in CI, this also
+// exercises the two-stage fan-out for data races).
+func TestBatchDeterministicAcrossParallelism(t *testing.T) {
+	_, serial := queryRows(t, batchTestEngine(t, StrategyKeyThenAttr, 8, 1, llm.ProfileMedium), batchTestQuery)
+	for _, p := range []int{2, 8, 16} {
+		res, rows := queryRows(t, batchTestEngine(t, StrategyKeyThenAttr, 8, p, llm.ProfileMedium), batchTestQuery)
+		if rows != serial {
+			t.Fatalf("parallelism %d changed batched rows", p)
+		}
+		if res.Scans[0].Prompts == 0 {
+			t.Fatal("no prompts recorded")
+		}
+	}
+}
+
+// TestBatchFallbackRepairsCells: a noisy model malformes batched lines at a
+// visible rate; those cells must be re-asked individually and counted.
+func TestBatchFallbackRepairsCells(t *testing.T) {
+	res, _ := queryRows(t, batchTestEngine(t, StrategyKeyThenAttr, 8, 4, llm.ProfileSmall), batchTestQuery)
+	s := res.Scans[0]
+	if s.BatchFallbacks == 0 {
+		t.Fatalf("small profile (15%% format error) should force fallbacks: %+v", s)
+	}
+	if s.Prompts <= s.BatchedPrompts {
+		t.Fatalf("fallback prompts missing from Prompts: %+v", s)
+	}
+	if s.RowsEmitted == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+// TestParseAttrBatchCompletion pins the tolerant multi-row parser: lines
+// match keys case-insensitively in any order, repairs cover bullets and
+// colon separators, refusals are found-but-not-ok, and unattributable or
+// missing lines signal fallback via found=false.
+func TestParseAttrBatchCompletion(t *testing.T) {
+	keys := []string{"France", "Japan", "Brazil", "Kenya", "Chile"}
+	text := "Here are the values:\n" +
+		"japan | Tokyo\n" + // reordered + lowercased: still attributable
+		"- France | Paris\n" + // bullet repair
+		"Brazil: Brasilia\n" + // colon separator repair
+		"Kenya | unknown\n" + // refusal: found but no vote
+		"Santiago\n" // dropped key: unattributable, Chile must fall back
+	vals, ok, found := parseAttrBatchCompletion(text, keys, rel.TypeText, true)
+
+	wantFound := []bool{true, true, true, true, false}
+	wantOK := []bool{true, true, true, false, false}
+	wantVal := []string{"Paris", "Tokyo", "Brasilia", "", ""}
+	for i := range keys {
+		if found[i] != wantFound[i] || ok[i] != wantOK[i] {
+			t.Fatalf("%s: found=%v ok=%v, want %v/%v", keys[i], found[i], ok[i], wantFound[i], wantOK[i])
+		}
+		if wantOK[i] && vals[i].AsText() != wantVal[i] {
+			t.Fatalf("%s: value %q, want %q", keys[i], vals[i].AsText(), wantVal[i])
+		}
+	}
+
+	// Strict parsing accepts only exact "key | value" lines.
+	_, okStrict, foundStrict := parseAttrBatchCompletion(text, keys, rel.TypeText, false)
+	if !foundStrict[1] || !okStrict[1] {
+		t.Fatal("strict parser should still accept the plain japan line")
+	}
+	if foundStrict[0] || foundStrict[2] {
+		t.Fatal("strict parser must reject bullet and colon repairs")
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -24,6 +24,11 @@ const (
 	// StrategyPaged issues LIST prompts with MAXROWS pages and EXCLUDE
 	// continuation until the model reports no further rows.
 	StrategyPaged
+	// StrategyAuto defers the choice to the cost-based scan planner: each
+	// virtual-table scan prices the three decompositions above under the
+	// engine's cost model and cardinality estimate and runs the cheapest.
+	// The decision and its cost breakdown appear in EXPLAIN and ScanStats.
+	StrategyAuto
 )
 
 // String names the strategy for reports.
@@ -33,6 +38,8 @@ func (s Strategy) String() string {
 		return "key-then-attr"
 	case StrategyPaged:
 		return "paged"
+	case StrategyAuto:
+		return "auto"
 	default:
 		return "full-table"
 	}
@@ -54,6 +61,14 @@ type Config struct {
 	// (KeyThenAttr): each attribute is asked Votes times and the majority
 	// value wins. 1 disables voting.
 	Votes int
+	// BatchSize groups up to this many entity keys into one ATTR prompt on
+	// the key-then-attr path (one prompt asks for one column of N
+	// entities), amortizing the per-prompt boilerplate. Values <= 1 keep
+	// the one-key-per-prompt decomposition. Batched answers are parsed
+	// tolerantly per key; keys whose batched line is missing or malformed
+	// fall back to a single-key prompt, so the retrieved key set and row
+	// order are identical to the unbatched path at any batch size.
+	BatchSize int
 	// PageSize is MAXROWS per prompt for StrategyPaged.
 	PageSize int
 	// Pushdown verbalises pushed filters into prompts when true; the
@@ -103,6 +118,7 @@ func DefaultConfig() Config {
 		MaxRounds:           8,
 		StableRounds:        2,
 		Votes:               1,
+		BatchSize:           1,
 		PageSize:            40,
 		Pushdown:            true,
 		Tolerant:            true,
@@ -124,6 +140,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Votes < 1 {
 		c.Votes = 1
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 1
 	}
 	if c.PageSize < 1 {
 		c.PageSize = 40

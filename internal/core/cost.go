@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+
+	"llmsql/internal/llm"
+	"llmsql/internal/plan"
+	"llmsql/internal/rel"
+)
+
+// This file bridges the engine to the planner's scan-cost estimator
+// (internal/plan/cost.go): it measures prompt token counts on the real
+// prompt templates, estimates completion token widths from column types,
+// supplies a per-table cardinality estimate (registration metadata refined
+// by prior-scan statistics), and maps the resulting decision back onto
+// core.Strategy.
+
+// defaultCardinality is the rows estimate for tables registered without
+// metadata and never scanned. It matches DefaultConfig's page size: one
+// page of unknown.
+const defaultCardinality = 40
+
+// Completion-token width estimates per column type. These feed the cost
+// estimator only — accounting always charges exact measured tokens.
+func estValueTokens(t rel.DataType) int {
+	switch t {
+	case rel.TypeBool:
+		return 1
+	case rel.TypeInt, rel.TypeFloat:
+		return 3
+	default: // TEXT: a short name or phrase
+		return 4
+	}
+}
+
+// estRowTokens estimates completion tokens for one full row over cols
+// (fields plus separators).
+func estRowTokens(schema rel.Schema, cols []int) int {
+	tok := 0
+	for _, c := range cols {
+		tok += estValueTokens(schema.Col(c).Type) + 1 // " | " separator
+	}
+	return tok
+}
+
+// cardinalityEstimate returns the rows estimate for a table: prior-scan
+// statistics win over registration metadata, which wins over the default.
+// Callers must hold s.mu or own the table exclusively.
+func (s *LLMStore) cardinalityEstimate(t *VirtualTable) int {
+	if n, ok := s.estRows[t.Name]; ok && n > 0 {
+		return n
+	}
+	if t.EstRows > 0 {
+		return t.EstRows
+	}
+	return defaultCardinality
+}
+
+// scanCostModel assembles the estimator inputs for scanning cols of t.
+func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int) plan.ScanCostModel {
+	cfg := s.cfg
+	keyPos := t.Schema.KeyIndexes()[0]
+	attrCols := 0
+	for _, c := range cols {
+		if c != keyPos {
+			attrCols++
+		}
+	}
+	// Measure prompt boilerplate on the real templates. The ATTR prompt is
+	// measured with the table name standing in for an entity key — keys
+	// and table names have comparable token widths.
+	sampleKey := t.Name
+	attrCol := keyPos
+	for _, c := range cols {
+		if c != keyPos {
+			attrCol = c
+			break
+		}
+	}
+	rounds := cfg.MaxRounds
+	if cfg.Temperature <= 0 {
+		rounds = 1
+	}
+	return plan.ScanCostModel{
+		Cost:             s.costModel,
+		Rows:             s.cardinalityEstimate(t),
+		AttrCols:         attrCols,
+		ListPromptTokens: llm.CountTokens(buildListPrompt(t, cols, nil, nil, 0)),
+		KeysPromptTokens: llm.CountTokens(buildKeysPrompt(t, nil, nil, 0)),
+		AttrPromptTokens: llm.CountTokens(buildAttrPrompt(t, sampleKey, attrCol)),
+		RowTokens:        estRowTokens(t.Schema, cols),
+		KeyTokens:        estValueTokens(t.Schema.Col(keyPos).Type),
+		AttrTokens:       estValueTokens(t.Schema.Col(attrCol).Type) + 4, // answers arrive wrapped in short sentences
+		Rounds:           rounds,
+		MaxRounds:        cfg.MaxRounds,
+		Votes:            cfg.Votes,
+		PageSize:         cfg.PageSize,
+		BatchSize:        cfg.BatchSize,
+		Parallelism:      cfg.Parallelism,
+	}
+}
+
+// decide prices the scan of cols over t and returns the decision. With
+// StrategyAuto the cost model chooses; otherwise the configured strategy is
+// reported as forced, with the candidate breakdown kept advisory.
+func (s *LLMStore) decide(t *VirtualTable, cols []int) plan.ScanDecision {
+	m := s.scanCostModel(t, cols)
+	d := m.Decide()
+	if s.cfg.Strategy != StrategyAuto {
+		d.Auto = false
+		d.Chosen = s.cfg.Strategy.String()
+	}
+	return d
+}
+
+// ScanDecision implements plan.ScanAdvisor: the planner calls it while
+// annotating scans so EXPLAIN can show the strategy choice and its cost
+// breakdown.
+func (s *LLMStore) ScanDecision(table string, needed []bool) (plan.ScanDecision, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[strings.ToLower(table)]
+	if !ok {
+		return plan.ScanDecision{}, false
+	}
+	return s.decide(t, neededColumns(t.Schema, needed)), true
+}
+
+// strategyByName maps a decision back to the executable strategy.
+func strategyByName(name string) Strategy {
+	switch name {
+	case "key-then-attr":
+		return StrategyKeyThenAttr
+	case "paged":
+		return StrategyPaged
+	default:
+		return StrategyFullTable
+	}
+}
+
+// noteCardinality records an observed row count as the table's refined
+// cardinality estimate for future decisions. Zero observations are ignored
+// (an empty retrieval says more about the model than the table).
+func (s *LLMStore) noteCardinality(table string, rows int) {
+	if rows <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.estRows[table] = rows
+	s.mu.Unlock()
+}

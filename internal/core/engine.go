@@ -42,8 +42,12 @@ func New(model llm.Model, cfg Config) *Engine {
 	}
 }
 
-// CostModel replaces the simulated cost constants.
-func (e *Engine) CostModel(c llm.CostModel) { e.model.Cost = c }
+// CostModel replaces the simulated cost constants, for both accounting and
+// the scan planner's strategy pricing (they always share constants).
+func (e *Engine) CostModel(c llm.CostModel) {
+	e.model.Cost = c
+	e.store.SetCostModel(c)
+}
 
 // CacheStats reports the completion cache's counters (the zero value when
 // no cache is configured).
@@ -61,12 +65,14 @@ func (e *Engine) Config() Config { return e.store.Config() }
 func (e *Engine) RegisterTable(t VirtualTable) { e.store.Register(t) }
 
 // RegisterWorldDomain declares a virtual table mirroring a synthetic-world
-// domain's schema and descriptions (the usual setup for experiments).
+// domain's schema and descriptions (the usual setup for experiments). The
+// domain size seeds the scan planner's cardinality estimate.
 func (e *Engine) RegisterWorldDomain(d *world.Domain) {
 	e.store.Register(VirtualTable{
 		Name:        d.Name,
 		Description: d.Description,
 		Schema:      d.Schema,
+		EstRows:     len(d.Entities),
 	})
 }
 

@@ -213,6 +213,65 @@ func extractNumber(s string) (string, bool) {
 	return "", false
 }
 
+// parseAttrBatchCompletion extracts per-key values from a batched ATTRS
+// completion ("<entity> | <value>" lines). Lines are matched to keys by
+// the key field, case-insensitively, so reordered or dropped lines cannot
+// misattribute a value; under tolerant parsing bullet prefixes and a
+// "key: value" separator are repaired. The three returned slices are
+// parallel to keys:
+//
+//   - found[i] reports that key i's line was located and syntactically
+//     usable — when false the caller should fall back to a single-key
+//     prompt;
+//   - ok[i] reports that the located value parsed into the column type and
+//     was not a refusal (mirrors parseAttrCompletion's second result);
+//   - vals[i] is the parsed value (typed NULL unless ok).
+func parseAttrBatchCompletion(text string, keys []string, t rel.DataType, tolerant bool) (vals []rel.Value, ok []bool, found []bool) {
+	vals = make([]rel.Value, len(keys))
+	ok = make([]bool, len(keys))
+	found = make([]bool, len(keys))
+	for i := range vals {
+		vals[i] = rel.NullOf(t)
+	}
+	index := make(map[string]int, len(keys))
+	for i, k := range keys {
+		index[strings.ToLower(strings.TrimSpace(k))] = i
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || looksLikeProse(line) {
+			continue
+		}
+		if tolerant {
+			for _, prefix := range []string{"- ", "* "} {
+				if strings.HasPrefix(line, prefix) {
+					line = strings.TrimPrefix(line, prefix)
+					break
+				}
+			}
+		}
+		keyPart, valPart, split := strings.Cut(line, "|")
+		if !split {
+			if !tolerant {
+				continue
+			}
+			// Colon fallback ("key: value") for lines emitted with the
+			// wrong separator.
+			keyPart, valPart, split = strings.Cut(line, ":")
+			if !split {
+				continue
+			}
+		}
+		i, known := index[strings.ToLower(strings.TrimSpace(keyPart))]
+		if !known || found[i] {
+			continue // unattributable line, or a duplicate for a seen key
+		}
+		found[i] = true
+		vals[i], ok[i] = parseAttrCompletion(strings.TrimSpace(valPart), t, tolerant)
+	}
+	return vals, ok, found
+}
+
 // parseAttrCompletion extracts a single value from an ATTR completion,
 // handling the phrasings the model uses ("Paris", "Paris.",
 // "The capital of France is Paris.", "capital: Paris", "I'm not sure.").

@@ -19,6 +19,10 @@ type VirtualTable struct {
 	// prompts; the first column (or Key-marked columns) identifies the
 	// entity.
 	Schema rel.Schema
+	// EstRows, when positive, seeds the scan planner's cardinality
+	// estimate for this table (RegisterWorldDomain fills it from the
+	// domain size). Prior-scan statistics refine it; zero means unknown.
+	EstRows int
 }
 
 const promptHeader = "You are a precise data assistant. Answer strictly from your world knowledge."
@@ -78,6 +82,21 @@ func buildAttrPrompt(t *VirtualTable, entityKey string, col int) string {
 	c := t.Schema.Col(col)
 	fmt.Fprintf(&b, "COLUMN: %s -- %s\n", c.Name, c.Desc)
 	b.WriteString("Respond with only the value.")
+	return b.String()
+}
+
+// buildAttrBatchPrompt asks for one attribute of a batch of entities
+// (Config.BatchSize > 1): the answer is expected as one
+// "<entity> | <value>" line per entity, in the given order.
+func buildAttrBatchPrompt(t *VirtualTable, entityKeys []string, col int) string {
+	var b strings.Builder
+	b.WriteString(promptHeader)
+	b.WriteString("\nTASK: ATTRS\n")
+	writeTableLine(&b, t)
+	fmt.Fprintf(&b, "ENTITIES: %s\n", strings.Join(entityKeys, " | "))
+	c := t.Schema.Col(col)
+	fmt.Fprintf(&b, "COLUMN: %s -- %s\n", c.Name, c.Desc)
+	b.WriteString("Respond with one line per entity, in the order given, formatted as '<entity> | <value>'. Output data only, no commentary.")
 	return b.String()
 }
 

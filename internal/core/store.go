@@ -17,10 +17,19 @@ import (
 type ScanStats struct {
 	// Table is the scanned virtual table.
 	Table string
-	// Strategy used.
+	// Strategy used. With Config.Strategy == StrategyAuto this is the
+	// strategy the cost-based planner actually chose.
 	Strategy Strategy
+	// Auto reports that Strategy was chosen by the cost model.
+	Auto bool
 	// Prompts issued.
 	Prompts int
+	// BatchedPrompts counts ATTR prompts that asked for a batch of keys
+	// (Config.BatchSize > 1, key-then-attr only).
+	BatchedPrompts int
+	// BatchFallbacks counts (key, column, vote) cells whose batched answer
+	// failed to parse and were re-asked with a single-key prompt.
+	BatchFallbacks int
 	// Rounds of enumeration sampling actually run.
 	Rounds int
 	// Rows emitted to the executor.
@@ -40,26 +49,51 @@ type ScanStats struct {
 	Parse ParseStats
 }
 
+// Label names the scan's strategy for display, marking cost-based choices
+// ("auto:paged").
+func (s ScanStats) Label() string {
+	if s.Auto {
+		return "auto:" + s.Strategy.String()
+	}
+	return s.Strategy.String()
+}
+
 // LLMStore exposes virtual tables as an exec.Source and plan.Catalog.
 // It is safe for concurrent use.
 type LLMStore struct {
 	model llm.Model
 	cache *llm.CacheModel // completion cache in the model chain, if any
 	cfg   Config
+	// costModel prices candidate decompositions for the scan planner; it
+	// mirrors the accounting CostModel (Engine.CostModel keeps them in
+	// sync) so estimates and charges share constants.
+	costModel llm.CostModel
 
 	mu     sync.Mutex
 	tables map[string]*VirtualTable
 	stats  []ScanStats
+	// estRows caches observed per-table cardinalities from prior scans,
+	// refining the planner's estimates (see cost.go).
+	estRows map[string]int
 }
 
 // NewLLMStore builds a store over the model with the given configuration.
 func NewLLMStore(model llm.Model, cfg Config) *LLMStore {
 	return &LLMStore{
-		model:  model,
-		cache:  llm.FindCache(model),
-		cfg:    cfg.normalize(),
-		tables: make(map[string]*VirtualTable),
+		model:     model,
+		cache:     llm.FindCache(model),
+		cfg:       cfg.normalize(),
+		costModel: llm.DefaultCostModel(),
+		tables:    make(map[string]*VirtualTable),
+		estRows:   make(map[string]int),
 	}
+}
+
+// SetCostModel replaces the constants the scan planner prices with.
+func (s *LLMStore) SetCostModel(c llm.CostModel) {
+	s.mu.Lock()
+	s.costModel = c
+	s.mu.Unlock()
 }
 
 // Register declares a virtual table.
@@ -106,17 +140,28 @@ func (s *LLMStore) Config() Config { return s.cfg }
 func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 	s.mu.Lock()
 	t, ok := s.tables[strings.ToLower(req.Table)]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("core: unknown virtual table %q", req.Table)
 	}
+	cols := neededColumns(t.Schema, req.Needed)
+	// Resolve the effective strategy: with StrategyAuto the cost-based
+	// planner prices the decompositions for this table and column set and
+	// the cheapest runs (the same decision EXPLAIN annotates).
+	strategy := s.cfg.Strategy
+	auto := strategy == StrategyAuto
+	if auto {
+		strategy = strategyByName(s.decide(t, cols).Chosen)
+	}
+	s.mu.Unlock()
 
 	scan := &llmScan{
-		store:  s,
-		table:  t,
-		schema: req.Schema,
-		cols:   neededColumns(t.Schema, req.Needed),
-		stats:  ScanStats{Table: t.Name, Strategy: s.cfg.Strategy},
+		store:    s,
+		table:    t,
+		schema:   req.Schema,
+		cols:     cols,
+		strategy: strategy,
+		stats:    ScanStats{Table: t.Name, Strategy: strategy, Auto: auto},
 	}
 	if s.cfg.Pushdown {
 		scan.filter = stripQualifiers(req.Filter)
@@ -124,7 +169,7 @@ func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 
 	var rows []rel.Row
 	var err error
-	switch s.cfg.Strategy {
+	switch strategy {
 	case StrategyKeyThenAttr:
 		rows, err = scan.runKeyThenAttr()
 	case StrategyPaged:
@@ -139,6 +184,12 @@ func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 		rows = scan.dedup(rows)
 	}
 	scan.stats.RowsEmitted = len(rows)
+	// Refine the planner's cardinality estimate — but only from unfiltered
+	// scans: a pushed-down predicate makes the emitted count a selectivity
+	// artifact, not the table's size.
+	if scan.filter == nil {
+		s.noteCardinality(t.Name, len(rows))
+	}
 	// Report this scan's simulated critical path: its phases are a
 	// dependency chain, so their makespans added up along the way.
 	if wa, ok := s.model.(llm.WallAdder); ok {
@@ -179,13 +230,14 @@ func neededColumns(schema rel.Schema, needed []bool) []int {
 // scan's own goroutine: concurrent tasks write into index-disjoint slots and
 // results are merged in deterministic order afterwards.
 type llmScan struct {
-	store  *LLMStore
-	table  *VirtualTable
-	schema rel.Schema // alias-renamed schema expected by the executor
-	cols   []int
-	filter sql.Expr
-	stats  ScanStats
-	wall   time.Duration // simulated critical-path latency of this scan
+	store    *LLMStore
+	table    *VirtualTable
+	schema   rel.Schema // alias-renamed schema expected by the executor
+	cols     []int
+	strategy Strategy // effective strategy (auto already resolved)
+	filter   sql.Expr
+	stats    ScanStats
+	wall     time.Duration // simulated critical-path latency of this scan
 }
 
 func (sc *llmScan) cfg() Config { return sc.store.cfg }
@@ -355,7 +407,7 @@ func (sc *llmScan) filterByConfidence(rows []rel.Row, appearances map[string]int
 	}
 	// Paged scans exclude previously seen keys, so every entity appears in
 	// exactly one round by construction — frequency is meaningless there.
-	if sc.cfg().Strategy == StrategyPaged {
+	if sc.strategy == StrategyPaged {
 		return rows
 	}
 	keyPos := sc.keyPos()
@@ -446,12 +498,14 @@ func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
 		return nil, err
 	}
 
-	// Phase 2: one ATTR prompt per key and needed non-key column, with
-	// Votes-way self-consistency. Every (key, column, vote) call is
-	// independent of every other, so the whole phase fans out across the
-	// worker pool; votes land in index-disjoint slots and are merged in
-	// deterministic key/column/vote order afterwards, never in completion
-	// order.
+	// Phase 2: attribute retrieval with Votes-way self-consistency. With
+	// BatchSize <= 1 every (key, column, vote) is one small ATTR prompt;
+	// with BatchSize > 1 up to BatchSize keys share one prompt per
+	// (column, vote) and keys whose batched answer fails to parse fall
+	// back to single-key prompts. Either way the calls are independent and
+	// fan out across the worker pool; votes land in index-disjoint slots
+	// and are merged in deterministic key/column/vote order afterwards,
+	// never in completion order.
 	attrCols := make([]int, 0, len(sc.cols))
 	for _, c := range sc.cols {
 		if c != keyPos {
@@ -459,14 +513,47 @@ func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
 		}
 	}
 	votes := sc.cfg().Votes
-	n := len(keyRows) * len(attrCols) * votes
+	keys := make([]string, len(keyRows))
+	for i, row := range keyRows {
+		keys[i] = strings.TrimSpace(row[keyPos].AsText())
+	}
+	var results []attrVote
+	if sc.cfg().BatchSize > 1 && len(keys) > 0 && len(attrCols) > 0 {
+		results, err = sc.attrBatched(keys, attrCols, votes)
+	} else {
+		results, err = sc.attrSingle(keys, attrCols, votes)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]rel.Row, 0, len(keyRows))
+	for ki, keyRow := range keyRows {
+		row := make(rel.Row, sc.table.Schema.Len())
+		for i := range row {
+			row[i] = rel.NullOf(sc.table.Schema.Col(i).Type)
+		}
+		row[keyPos] = keyRow[keyPos]
+		for ci, c := range attrCols {
+			base := (ki*len(attrCols) + ci) * votes
+			row[c] = mergeVotes(results[base:base+votes], sc.table.Schema.Col(c).Type)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// attrSingle is the unbatched attribute phase: one ATTR prompt per
+// (key, column, vote), fanned out across the worker pool. The returned
+// slice is indexed (key-major, then column, then vote).
+func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int) ([]attrVote, error) {
+	n := len(keys) * len(attrCols) * votes
 	results := make([]attrVote, n)
-	err = runTasks(sc.cfg().Parallelism, n, func(i int) error {
+	err := runTasks(sc.cfg().Parallelism, n, func(i int) error {
 		ki := i / (len(attrCols) * votes)
 		c := attrCols[i/votes%len(attrCols)]
 		v := i % votes
-		key := strings.TrimSpace(keyRows[ki][keyPos].AsText())
-		resp, err := sc.modelCall(buildAttrPrompt(sc.table, key, c), int64(1000+v))
+		resp, err := sc.modelCall(buildAttrPrompt(sc.table, keys[ki], c), int64(1000+v))
 		if err != nil {
 			return err
 		}
@@ -486,21 +573,109 @@ func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
 		sc.countCache(results[i].cached)
 	}
 	sc.addWall(sched.Makespan())
+	return results, nil
+}
 
-	out := make([]rel.Row, 0, len(keyRows))
-	for ki, keyRow := range keyRows {
-		row := make(rel.Row, sc.table.Schema.Len())
-		for i := range row {
-			row[i] = rel.NullOf(sc.table.Schema.Col(i).Type)
-		}
-		row[keyPos] = keyRow[keyPos]
-		for ci, c := range attrCols {
-			base := (ki*len(attrCols) + ci) * votes
-			row[c] = mergeVotes(results[base:base+votes], sc.table.Schema.Col(c).Type)
-		}
-		out = append(out, row)
+// attrBatched is the batched attribute phase: keys are chunked in order
+// into groups of BatchSize, and one ATTRS prompt asks for one column of a
+// whole group per vote. Batched answers are parsed per key; cells whose
+// line is missing or malformed fall back to single-key prompts in a second
+// fan-out, so every (key, column, vote) cell ends with exactly one vote —
+// the same accounting as the unbatched phase, at ~BatchSize fewer prompts.
+// The returned slice is indexed exactly like attrSingle's.
+func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int) ([]attrVote, error) {
+	batch := sc.cfg().BatchSize
+	numBatches := (len(keys) + batch - 1) / batch
+
+	// One task per (batch, column, vote), indexed batch-major.
+	type batchAnswer struct {
+		vals   []rel.Value
+		ok     []bool
+		found  []bool
+		cached bool
+		lat    time.Duration
 	}
-	return out, nil
+	n := numBatches * len(attrCols) * votes
+	tasks := make([]batchAnswer, n)
+	err := runTasks(sc.cfg().Parallelism, n, func(i int) error {
+		bi := i / (len(attrCols) * votes)
+		c := attrCols[i/votes%len(attrCols)]
+		v := i % votes
+		lo, hi := bi*batch, (bi+1)*batch
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		group := keys[lo:hi]
+		resp, err := sc.modelCall(buildAttrBatchPrompt(sc.table, group, c), int64(1000+v))
+		if err != nil {
+			return err
+		}
+		vals, ok, found := parseAttrBatchCompletion(resp.Text, group, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
+		tasks[i] = batchAnswer{vals: vals, ok: ok, found: found, cached: resp.Cached, lat: resp.SimLatency}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.stats.Prompts += n
+	sc.stats.BatchedPrompts += n
+	sched := llm.NewSched(sc.cfg().Parallelism)
+	for i := range tasks {
+		sched.Add(tasks[i].lat)
+		sc.countCache(tasks[i].cached)
+	}
+	sc.addWall(sched.Makespan())
+
+	// Scatter batched answers into the (key, column, vote) layout and
+	// collect the cells that need a single-key fallback.
+	results := make([]attrVote, len(keys)*len(attrCols)*votes)
+	var fallback []int
+	for i := range results {
+		ki := i / (len(attrCols) * votes)
+		ci := i / votes % len(attrCols)
+		v := i % votes
+		t := &tasks[(ki/batch*len(attrCols)+ci)*votes+v]
+		off := ki % batch
+		if off < len(t.found) && t.found[off] {
+			results[i] = attrVote{val: t.vals[off], ok: t.ok[off]}
+			continue
+		}
+		fallback = append(fallback, i)
+	}
+	if len(fallback) == 0 {
+		return results, nil
+	}
+
+	// Fallback fan-out: the single-key prompts use the same vote seeds as
+	// the unbatched phase, so a repaired cell gets the answer attrSingle
+	// would have retrieved for it.
+	sc.stats.BatchFallbacks += len(fallback)
+	fb := make([]attrVote, len(fallback))
+	err = runTasks(sc.cfg().Parallelism, len(fallback), func(j int) error {
+		i := fallback[j]
+		ki := i / (len(attrCols) * votes)
+		c := attrCols[i/votes%len(attrCols)]
+		v := i % votes
+		resp, err := sc.modelCall(buildAttrPrompt(sc.table, keys[ki], c), int64(1000+v))
+		if err != nil {
+			return err
+		}
+		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
+		fb[j] = attrVote{val: val, ok: ok, cached: resp.Cached, lat: resp.SimLatency}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.stats.Prompts += len(fallback)
+	sched = llm.NewSched(sc.cfg().Parallelism)
+	for j := range fb {
+		sched.Add(fb[j].lat)
+		sc.countCache(fb[j].cached)
+		results[fallback[j]] = attrVote{val: fb[j].val, ok: fb[j].ok}
+	}
+	sc.addWall(sched.Makespan())
+	return results, nil
 }
 
 // mergeVotes resolves one attribute cell from its self-consistency votes:

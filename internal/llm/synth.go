@@ -17,17 +17,20 @@ import (
 // tagged lines; SynthLM parses them the way an instruction-following model
 // would. The tags are:
 //
-//	TASK: LIST | KEYS | ATTR
+//	TASK: LIST | KEYS | ATTR | ATTRS
 //	TABLE: <name> -- <description>
 //	COLUMNS: <col> -- <desc> | <col> -- <desc> | ...   (LIST)
 //	ENTITY: <key>                                      (ATTR)
-//	COLUMN: <col> -- <desc>                            (ATTR)
+//	ENTITIES: <key> | <key> | ...                      (ATTRS)
+//	COLUMN: <col> -- <desc>                            (ATTR/ATTRS)
 //	FILTER: <condition over the column names>          (optional)
 //	EXCLUDE: <key> | <key> | ...                       (optional)
 //	MAXROWS: <n>                                       (optional)
 //
 // LIST/KEYS answers are pipe-separated rows, one per line; ATTR answers are
-// a single value, possibly wrapped in a sentence. All answer-side noise
+// a single value, possibly wrapped in a sentence; ATTRS (batched attribute
+// retrieval) answers one "<key> | <value>" line per entity. All answer-side
+// noise
 // (prose preambles, ragged rows, unit suffixes, hallucinations, truncation)
 // is injected here so the engine's tolerant parser is exercised exactly as
 // it would be against a hosted model.
@@ -138,6 +141,8 @@ func (m *SynthLM) Complete(req CompletionRequest) (CompletionResponse, error) {
 			text = TruncateTokens(text, maxTok)
 			truncated = true
 		}
+	case "ATTRS":
+		text, truncated = m.completeAttrBatch(spec, req, maxTok)
 	default:
 		return CompletionResponse{}, fmt.Errorf("llm: unknown task %q", spec.task)
 	}
@@ -152,14 +157,15 @@ func (m *SynthLM) Complete(req CompletionRequest) (CompletionResponse, error) {
 
 // promptSpec is the parsed request.
 type promptSpec struct {
-	task    string
-	table   string
-	columns []string
-	entity  string
-	column  string
-	filter  string
-	exclude map[string]bool
-	maxRows int
+	task     string
+	table    string
+	columns  []string
+	entity   string
+	entities []string
+	column   string
+	filter   string
+	exclude  map[string]bool
+	maxRows  int
 }
 
 func parsePrompt(prompt string) (*promptSpec, error) {
@@ -184,6 +190,12 @@ func parsePrompt(prompt string) (*promptSpec, error) {
 			}
 		case "ENTITY":
 			spec.entity = rest
+		case "ENTITIES":
+			for _, part := range strings.Split(rest, "|") {
+				if k := strings.TrimSpace(part); k != "" {
+					spec.entities = append(spec.entities, k)
+				}
+			}
 		case "COLUMN":
 			spec.column = strings.ToLower(nameBeforeDesc(rest))
 		case "FILTER":
@@ -555,6 +567,67 @@ func (m *SynthLM) completeAttr(spec *promptSpec, req CompletionRequest) string {
 		return "I'm not sure."
 	}
 	return m.wrapAttr(rng, spec, v.String())
+}
+
+// completeAttrBatch answers a batched attribute request (TASK: ATTRS): one
+// "<key> | <value>" line per requested entity, in order. Beliefs come from
+// the same deterministic knowledge layer as single ATTR answers, so a
+// solidly known fact gets the same value whether asked alone or in a
+// batch. Per-line format noise (dropped keys, wrong separators, bullets)
+// is injected at the profile's rate so the engine's per-key fallback path
+// is exercised like it would be against a hosted model.
+func (m *SynthLM) completeAttrBatch(spec *promptSpec, req CompletionRequest, maxTok int) (string, bool) {
+	d := m.world.Domain(spec.table)
+	if d == nil {
+		return "I do not have information about that table.", false
+	}
+	col := d.Schema.IndexOf(spec.column)
+	if col < 0 {
+		return "I do not know that attribute.", false
+	}
+	rng := m.sessionRng(req)
+	var lines []string
+	for _, key := range spec.entities {
+		e := d.Entity(key)
+		var value string
+		switch {
+		case e == nil || !m.entityKnown(d, e):
+			if rng.Float64() < 0.5 {
+				value = "unknown"
+			} else {
+				donor := d.Entities[rng.Intn(len(d.Entities))]
+				value = donor.Row[col].String()
+			}
+		default:
+			v, _ := m.recalledValue(d, e, col, rng, req.Temperature)
+			if v.IsNull() {
+				value = "unknown"
+			} else {
+				value = v.String()
+			}
+		}
+		line := key + " | " + value
+		if rng.Float64() < m.profile.FormatError {
+			// Malformed variants; the bare value drops the key entirely and
+			// cannot be attributed, forcing a single-key fallback.
+			switch rng.Intn(3) {
+			case 0:
+				line = "- " + line
+			case 1:
+				line = value
+			default:
+				line = fmt.Sprintf("%s: %s", key, value)
+			}
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return "No entities given.", false
+	}
+	if rng.Float64() < 0.15 {
+		lines = append([]string{"Here are the values:"}, lines...)
+	}
+	return joinTruncated(lines, maxTok)
 }
 
 // wrapAttr renders an attribute answer in one of several phrasings.

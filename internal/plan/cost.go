@@ -1,0 +1,327 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"llmsql/internal/llm"
+)
+
+// This file implements the cost side of scan planning: a token/latency/$
+// estimator that prices each prompt-decomposition strategy for one
+// virtual-table scan, so the engine can pick the cheapest per table
+// ("auto" strategy) instead of forcing one global choice on the user.
+//
+// The estimator is deliberately closed-form: it uses the same llm.CostModel
+// the accounting layer charges with, the catalog's column counts, and a
+// per-table cardinality estimate (world metadata at registration, refined
+// by prior-scan statistics), but it never calls the model. Estimates are
+// therefore cheap, deterministic, and honest about being estimates — the
+// EXPLAIN output labels them "est".
+
+// StrategyCost prices one candidate decomposition of a virtual-table scan.
+type StrategyCost struct {
+	// Strategy is the candidate's display name ("full-table", "paged",
+	// "key-then-attr").
+	Strategy string
+	// Prompts is the estimated number of model calls.
+	Prompts int
+	// PromptTokens and CompletionTokens are the estimated token totals.
+	PromptTokens     int
+	CompletionTokens int
+	// Wall is the estimated critical-path latency under the configured
+	// worker-pool width (list scheduling, same rule the engine accounts
+	// with).
+	Wall time.Duration
+	// Dollars is the estimated spend under the cost model.
+	Dollars float64
+}
+
+// Tokens returns prompt+completion tokens.
+func (c StrategyCost) Tokens() int { return c.PromptTokens + c.CompletionTokens }
+
+// ScanDecision records which decomposition a virtual-table scan will use
+// and why: the full per-strategy cost breakdown behind the choice. It is
+// attached to ScanNode by the planner (via ScanAdvisor) so EXPLAIN can
+// surface it, and computed again by the store when the scan runs.
+type ScanDecision struct {
+	// Auto reports that the strategy was chosen by the cost model; when
+	// false the configuration forced Chosen and Candidates are advisory.
+	Auto bool
+	// Chosen is the strategy the scan will run.
+	Chosen string
+	// EstRows is the cardinality estimate the pricing used.
+	EstRows int
+	// Candidates holds the cost breakdown per strategy, in a stable order.
+	Candidates []StrategyCost
+}
+
+// Candidate returns the cost entry for the named strategy (zero value when
+// absent).
+func (d ScanDecision) Candidate(name string) StrategyCost {
+	for _, c := range d.Candidates {
+		if c.Strategy == name {
+			return c
+		}
+	}
+	return StrategyCost{}
+}
+
+// String renders the decision compactly for EXPLAIN:
+//
+//	auto=key-then-attr est-rows=40 | full-table $0.0031/12s ...
+func (d ScanDecision) String() string {
+	var b strings.Builder
+	if d.Auto {
+		b.WriteString("auto=")
+	} else {
+		b.WriteString("strategy=")
+	}
+	b.WriteString(d.Chosen)
+	fmt.Fprintf(&b, " est-rows=%d", d.EstRows)
+	for _, c := range d.Candidates {
+		fmt.Fprintf(&b, " | %s: %d prompts, %d tok, $%.4f, %s",
+			c.Strategy, c.Prompts, c.Tokens(), c.Dollars, c.Wall.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// ScanAdvisor is an optional Catalog capability: catalogs that price scan
+// decompositions per table (the LLM store) report the decision for a given
+// needed-column mask so the planner can annotate ScanNode and EXPLAIN can
+// surface it. Catalogs without an opinion (row stores) simply do not
+// implement it.
+type ScanAdvisor interface {
+	// ScanDecision prices the scan of table with the given needed mask
+	// (nil = all columns). ok is false when the table is not this
+	// catalog's or no pricing applies.
+	ScanDecision(table string, needed []bool) (ScanDecision, bool)
+}
+
+// ScanDecision implements ScanAdvisor for MultiCatalog by consulting
+// members in order.
+func (m MultiCatalog) ScanDecision(table string, needed []bool) (ScanDecision, bool) {
+	for _, c := range m {
+		if adv, ok := c.(ScanAdvisor); ok {
+			if d, ok := adv.ScanDecision(table, needed); ok {
+				return d, true
+			}
+		}
+	}
+	return ScanDecision{}, false
+}
+
+// annotateScans walks an optimized plan and attaches a ScanDecision to
+// every scan the catalog can price. It runs after column pruning so the
+// Needed masks the estimator sees are final.
+func annotateScans(n Node, cat Catalog) {
+	if n == nil {
+		return
+	}
+	if s, ok := n.(*ScanNode); ok {
+		if adv, ok := cat.(ScanAdvisor); ok {
+			if d, ok := adv.ScanDecision(s.Table, s.Needed); ok {
+				s.Decision = &d
+			}
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		annotateScans(c, cat)
+	}
+}
+
+// ScanCostModel holds the per-scan shape parameters the estimator prices
+// from. The engine fills it from the catalog (column counts, prompt token
+// counts measured on real prompt templates), the configuration (rounds,
+// votes, page and batch sizes, parallelism) and its cardinality estimate.
+type ScanCostModel struct {
+	// Cost converts tokens into latency and dollars.
+	Cost llm.CostModel
+	// Rows is the estimated table cardinality.
+	Rows int
+	// AttrCols is the number of retrieved non-key columns.
+	AttrCols int
+	// ListPromptTokens / KeysPromptTokens / AttrPromptTokens are measured
+	// token counts of one LIST / KEYS / single-key ATTR prompt.
+	ListPromptTokens int
+	KeysPromptTokens int
+	AttrPromptTokens int
+	// RowTokens / KeyTokens / AttrTokens estimate completion tokens per
+	// full row, per bare key, and per single attribute answer.
+	RowTokens  int
+	KeyTokens  int
+	AttrTokens int
+	// Rounds is the expected number of constant-prompt enumeration
+	// sampling rounds (1 at temperature zero — greedy decoding cannot
+	// produce new rows).
+	Rounds int
+	// MaxRounds caps paged continuation. Pages vary the prompt, so paging
+	// proceeds even at temperature zero and prices off this cap, not
+	// Rounds.
+	MaxRounds int
+	// Votes is the self-consistency factor of attribute retrieval.
+	Votes int
+	// PageSize is MAXROWS per paged prompt.
+	PageSize int
+	// BatchSize is the keys-per-ATTR-prompt grouping factor (1 = one key
+	// per prompt).
+	BatchSize int
+	// Parallelism is the scan worker-pool width.
+	Parallelism int
+}
+
+func (m ScanCostModel) normalized() ScanCostModel {
+	if m.Rows < 1 {
+		m.Rows = 1
+	}
+	if m.Rounds < 1 {
+		m.Rounds = 1
+	}
+	if m.MaxRounds < m.Rounds {
+		m.MaxRounds = m.Rounds
+	}
+	if m.Votes < 1 {
+		m.Votes = 1
+	}
+	if m.PageSize < 1 {
+		m.PageSize = 1
+	}
+	if m.BatchSize < 1 {
+		m.BatchSize = 1
+	}
+	if m.Parallelism < 1 {
+		m.Parallelism = 1
+	}
+	return m
+}
+
+// fanOutWall replays n calls of per-call duration d through the same greedy
+// list scheduler the engine accounts with, returning the makespan under the
+// configured lane count.
+func (m ScanCostModel) fanOutWall(n int, d time.Duration) time.Duration {
+	sched := llm.NewSched(m.Parallelism)
+	for i := 0; i < n; i++ {
+		sched.Add(d)
+	}
+	return sched.Makespan()
+}
+
+// price assembles a StrategyCost from call shape totals. perCallPrompt and
+// perCallCompletion describe the average call so wall latency can be
+// scheduled; token totals carry the exact sums.
+func (m ScanCostModel) price(name string, prompts, promptTok, complTok int, wall time.Duration) StrategyCost {
+	return StrategyCost{
+		Strategy:         name,
+		Prompts:          prompts,
+		PromptTokens:     promptTok,
+		CompletionTokens: complTok,
+		Wall:             wall,
+		Dollars:          m.Cost.Dollars(promptTok, complTok),
+	}
+}
+
+// FullTable prices the full-table decomposition: Rounds LIST prompts, each
+// answering the whole (estimated) table. Rounds are prefetched concurrently
+// by the engine, so wall latency fans out.
+func (m ScanCostModel) FullTable() StrategyCost {
+	m = m.normalized()
+	perPrompt := m.ListPromptTokens
+	perCompl := m.Rows * m.RowTokens
+	perCall := m.Cost.Latency(perPrompt, perCompl)
+	return m.price("full-table",
+		m.Rounds, m.Rounds*perPrompt, m.Rounds*perCompl,
+		m.fanOutWall(m.Rounds, perCall))
+}
+
+// Paged prices the paged decomposition: sequential LIST prompts of PageSize
+// rows whose EXCLUDE list grows by one page of keys each step, plus one
+// final empty page that triggers convergence. Pages form a dependency chain,
+// so wall latency is the serial sum regardless of parallelism.
+func (m ScanCostModel) Paged() StrategyCost {
+	m = m.normalized()
+	pages := (m.Rows+m.PageSize-1)/m.PageSize + 1
+	if pages > m.MaxRounds {
+		pages = m.MaxRounds
+	}
+	var promptTok, complTok int
+	var wall time.Duration
+	for p := 0; p < pages; p++ {
+		// Page p's prompt carries the keys of all previous pages.
+		excluded := p * m.PageSize
+		if excluded > m.Rows {
+			excluded = m.Rows
+		}
+		pt := m.ListPromptTokens + excluded*m.KeyTokens
+		rows := m.Rows - excluded
+		if rows > m.PageSize {
+			rows = m.PageSize
+		}
+		if rows < 0 {
+			rows = 0
+		}
+		ct := rows * m.RowTokens
+		promptTok += pt
+		complTok += ct
+		wall += m.Cost.Latency(pt, ct)
+	}
+	return m.price("paged", pages, promptTok, complTok, wall)
+}
+
+// KeyThenAttr prices the Galois-style decomposition: Rounds KEYS prompts
+// (prefetched), then one ATTR prompt per batch of BatchSize keys per
+// retrieved column per vote (fanned out across the pool). Batching folds
+// the per-prompt boilerplate over BatchSize keys, which is where the
+// savings come from.
+func (m ScanCostModel) KeyThenAttr() StrategyCost {
+	m = m.normalized()
+	keysPrompt := m.KeysPromptTokens
+	keysCompl := m.Rows * m.KeyTokens
+	wall := m.fanOutWall(m.Rounds, m.Cost.Latency(keysPrompt, keysCompl))
+	promptTok := m.Rounds * keysPrompt
+	complTok := m.Rounds * keysCompl
+
+	batches := (m.Rows + m.BatchSize - 1) / m.BatchSize
+	attrPrompts := batches * m.AttrCols * m.Votes
+	// A batched prompt lists its keys; a batched answer echoes each key
+	// next to its value. BatchSize 1 degrades to the single-key shape.
+	perPrompt := m.AttrPromptTokens + (m.BatchSize-1)*m.KeyTokens
+	perCompl := m.AttrTokens
+	if m.BatchSize > 1 {
+		perCompl = m.BatchSize * (m.KeyTokens + m.AttrTokens)
+	}
+	promptTok += attrPrompts * perPrompt
+	complTok += attrPrompts * perCompl
+	wall += m.fanOutWall(attrPrompts, m.Cost.Latency(perPrompt, perCompl))
+
+	return m.price("key-then-attr", m.Rounds+attrPrompts, promptTok, complTok, wall)
+}
+
+// Candidates prices every strategy in display order.
+func (m ScanCostModel) Candidates() []StrategyCost {
+	return []StrategyCost{m.FullTable(), m.Paged(), m.KeyThenAttr()}
+}
+
+// Decide prices every strategy and picks the cheapest by estimated dollars,
+// breaking ties toward lower wall latency and then candidate order. Dollar
+// cost is the primary axis because it is the one the paper's trade-off is
+// about (tokens are what you pay for); wall latency is the tiebreak because
+// it is what the user waits for.
+func (m ScanCostModel) Decide() ScanDecision {
+	m = m.normalized()
+	cands := m.Candidates()
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Dollars < cands[best].Dollars ||
+			(cands[i].Dollars == cands[best].Dollars && cands[i].Wall < cands[best].Wall) {
+			best = i
+		}
+	}
+	return ScanDecision{
+		Auto:       true,
+		Chosen:     cands[best].Strategy,
+		EstRows:    m.Rows,
+		Candidates: cands,
+	}
+}

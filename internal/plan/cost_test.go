@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"llmsql/internal/llm"
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+func testCostModel() ScanCostModel {
+	return ScanCostModel{
+		Cost:             llm.DefaultCostModel(),
+		Rows:             100,
+		AttrCols:         2,
+		ListPromptTokens: 60,
+		KeysPromptTokens: 40,
+		AttrPromptTokens: 40,
+		RowTokens:        12,
+		KeyTokens:        4,
+		AttrTokens:       7,
+		Rounds:           6,
+		MaxRounds:        6,
+		Votes:            3,
+		PageSize:         40,
+		BatchSize:        1,
+		Parallelism:      8,
+	}
+}
+
+// TestCostBatchingReducesKeyThenAttr pins the point of batching: grouping
+// keys into one ATTR prompt divides the prompt count by ~BatchSize and
+// strictly reduces dollars and wall latency.
+func TestCostBatchingReducesKeyThenAttr(t *testing.T) {
+	m := testCostModel()
+	unbatched := m.KeyThenAttr()
+	m.BatchSize = 8
+	batched := m.KeyThenAttr()
+
+	if unbatched.Prompts < 4*batched.Prompts {
+		t.Fatalf("batching should cut prompts >= 4x: %d vs %d", unbatched.Prompts, batched.Prompts)
+	}
+	if batched.Dollars >= unbatched.Dollars {
+		t.Fatalf("batching should cut dollars: %.5f vs %.5f", batched.Dollars, unbatched.Dollars)
+	}
+	if batched.Wall >= unbatched.Wall {
+		t.Fatalf("batching should cut wall latency: %v vs %v", batched.Wall, unbatched.Wall)
+	}
+}
+
+// TestCostDecidePicksCheapestDollars checks the decision rule: minimum
+// estimated dollars wins.
+func TestCostDecidePicksCheapestDollars(t *testing.T) {
+	m := testCostModel()
+	d := m.Decide()
+	if !d.Auto {
+		t.Fatal("Decide must mark the decision auto")
+	}
+	if len(d.Candidates) != 3 {
+		t.Fatalf("want 3 candidates, got %d", len(d.Candidates))
+	}
+	chosen := d.Candidate(d.Chosen)
+	for _, c := range d.Candidates {
+		if c.Dollars < chosen.Dollars {
+			t.Fatalf("chose %s ($%.5f) but %s is cheaper ($%.5f)", d.Chosen, chosen.Dollars, c.Strategy, c.Dollars)
+		}
+	}
+}
+
+// TestCostDecisionShifts checks that the decision responds to the workload
+// shape: many resampling rounds punish enumeration strategies (which repeat
+// the whole table) relative to batched key-then-attr, and a single round
+// with one column makes full-table unbeatable.
+func TestCostDecisionShifts(t *testing.T) {
+	m := testCostModel()
+	m.Rounds = 1
+	m.Votes = 1
+	m.AttrCols = 1
+	d := m.Decide()
+	if d.Chosen != "full-table" {
+		t.Fatalf("single-round single-column scan should pick full-table, got %s (%s)", d.Chosen, d)
+	}
+
+	// Enumeration gets expensive when every round repeats a huge table and
+	// only one narrow column is needed per entity.
+	m = testCostModel()
+	m.Rounds = 8
+	m.Votes = 1
+	m.AttrCols = 1
+	m.RowTokens = 60
+	m.BatchSize = 16
+	d = m.Decide()
+	if d.Chosen == "full-table" {
+		t.Fatalf("wide rows x 8 rounds should not pick full-table: %s", d)
+	}
+}
+
+// TestDecisionString pins the EXPLAIN rendering shape.
+func TestDecisionString(t *testing.T) {
+	d := testCostModel().Decide()
+	s := d.String()
+	for _, want := range []string{"auto=", "est-rows=100", "full-table", "paged", "key-then-attr", "$"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("decision string missing %q: %s", want, s)
+		}
+	}
+}
+
+// fakeAdvisor is a Catalog+ScanAdvisor for annotation tests.
+type fakeAdvisor struct {
+	MapCatalog
+	decided []string
+}
+
+func (f *fakeAdvisor) ScanDecision(table string, needed []bool) (ScanDecision, bool) {
+	f.decided = append(f.decided, table)
+	if _, ok := f.MapCatalog[table]; !ok {
+		return ScanDecision{}, false
+	}
+	return ScanDecision{Auto: true, Chosen: "paged", EstRows: 7}, true
+}
+
+// TestPlanAnnotatesScanDecisions checks that Plan attaches the advisor's
+// decision to scan nodes and that EXPLAIN surfaces it.
+func TestPlanAnnotatesScanDecisions(t *testing.T) {
+	cat := &fakeAdvisor{MapCatalog: MapCatalog{
+		"country": rel.NewSchema(
+			rel.Column{Name: "name", Type: rel.TypeText, Key: true},
+			rel.Column{Name: "population", Type: rel.TypeInt},
+		),
+	}}
+	sel, err := sql.ParseSelect("SELECT name FROM country WHERE population > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := Plan(sel, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(node)
+	if !strings.Contains(out, "auto=paged") || !strings.Contains(out, "est-rows=7") {
+		t.Fatalf("EXPLAIN missing scan decision:\n%s", out)
+	}
+	if len(cat.decided) == 0 {
+		t.Fatal("advisor was never consulted")
+	}
+}

@@ -35,6 +35,9 @@ func explain(b *strings.Builder, n Node, depth int) {
 			}
 			fmt.Fprintf(b, " [cols: %s]", strings.Join(cols, ","))
 		}
+		if x.Decision != nil {
+			fmt.Fprintf(b, " [%s]", x.Decision)
+		}
 		b.WriteByte('\n')
 
 	case *FilterNode:

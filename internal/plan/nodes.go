@@ -34,6 +34,10 @@ type ScanNode struct {
 	// Needed marks which columns the rest of the plan consumes; nil means
 	// all.
 	Needed []bool
+	// Decision, when non-nil, is the scan-cost decision the source reported
+	// for this table (virtual tables only): the chosen prompt decomposition
+	// and its per-strategy cost breakdown, surfaced by EXPLAIN.
+	Decision *ScanDecision
 }
 
 // Schema implements Node.

@@ -16,14 +16,18 @@ type Catalog interface {
 	TableSchema(name string) (rel.Schema, error)
 }
 
-// Plan builds an optimized logical plan for a SELECT statement.
+// Plan builds an optimized logical plan for a SELECT statement. After
+// optimization (so needed-column masks are final) every scan the catalog
+// can price is annotated with its cost-based strategy decision.
 func Plan(sel *sql.SelectStmt, cat Catalog) (Node, error) {
 	p := &planner{cat: cat}
 	node, err := p.planSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	return Optimize(node), nil
+	node = Optimize(node)
+	annotateScans(node, cat)
+	return node, nil
 }
 
 // PlanUnoptimized builds the plan without running optimizer rules (used by

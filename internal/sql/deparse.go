@@ -6,11 +6,49 @@ import (
 )
 
 // Deparse renders an expression back to SQL text. Parsing the result yields
-// an equivalent AST (round-trip property tested in deparse_test.go).
+// an equivalent AST (round-trip property tested in deparse_test.go and
+// fuzzed in fuzz_targets_test.go).
 func Deparse(e Expr) string {
 	var b strings.Builder
 	deparseExpr(&b, e)
 	return b.String()
+}
+
+// deparseReserved lists words (beyond reservedAfterTable) whose bare
+// spelling the expression grammar claims, so an identifier spelled like one
+// must be double-quoted to re-parse as a name.
+var deparseReserved = map[string]bool{
+	"NULL": true, "TRUE": true, "FALSE": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "CAST": true, "IS": true,
+	"IN": true, "LIKE": true, "BETWEEN": true, "DISTINCT": true,
+	"PRIMARY": true, "KEY": true, "EXPLAIN": true,
+}
+
+// plainIdent reports whether s lexes as a single bare identifier token.
+func plainIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case i > 0 && '0' <= r && r <= '9':
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// deparseIdent writes an identifier, double-quoting it when its bare
+// spelling would not re-lex to the same name (non-plain shapes, reserved
+// words).
+func deparseIdent(b *strings.Builder, name string) {
+	upper := strings.ToUpper(name)
+	if plainIdent(name) && !deparseReserved[upper] && !reservedAfterTable[upper] {
+		b.WriteString(name)
+		return
+	}
+	b.WriteByte('"')
+	b.WriteString(strings.ReplaceAll(name, `"`, `""`))
+	b.WriteByte('"')
 }
 
 // DeparseStmt renders a statement back to SQL text.
@@ -21,13 +59,13 @@ func DeparseStmt(s Statement) string {
 		deparseSelect(&b, st)
 	case *CreateTableStmt:
 		b.WriteString("CREATE TABLE ")
-		b.WriteString(st.Name)
+		deparseIdent(&b, st.Name)
 		b.WriteString(" (")
 		for i, c := range st.Columns {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(c.Name)
+			deparseIdent(&b, c.Name)
 			b.WriteByte(' ')
 			b.WriteString(c.Type.String())
 			if c.PrimaryKey {
@@ -37,10 +75,15 @@ func DeparseStmt(s Statement) string {
 		b.WriteByte(')')
 	case *InsertStmt:
 		b.WriteString("INSERT INTO ")
-		b.WriteString(st.Table)
+		deparseIdent(&b, st.Table)
 		if len(st.Columns) > 0 {
 			b.WriteString(" (")
-			b.WriteString(strings.Join(st.Columns, ", "))
+			for i, col := range st.Columns {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				deparseIdent(&b, col)
+			}
 			b.WriteByte(')')
 		}
 		b.WriteString(" VALUES ")
@@ -75,7 +118,7 @@ func deparseSelect(b *strings.Builder, s *SelectStmt) {
 		}
 		if item.Star {
 			if item.StarTable != "" {
-				b.WriteString(item.StarTable)
+				deparseIdent(b, item.StarTable)
 				b.WriteByte('.')
 			}
 			b.WriteByte('*')
@@ -84,7 +127,7 @@ func deparseSelect(b *strings.Builder, s *SelectStmt) {
 		deparseExpr(b, item.Expr)
 		if item.Alias != "" {
 			b.WriteString(" AS ")
-			b.WriteString(item.Alias)
+			deparseIdent(b, item.Alias)
 		}
 	}
 	if s.From != nil {
@@ -133,10 +176,10 @@ func deparseSelect(b *strings.Builder, s *SelectStmt) {
 func deparseTable(b *strings.Builder, t TableExpr) {
 	switch tt := t.(type) {
 	case *TableRef:
-		b.WriteString(tt.Name)
+		deparseIdent(b, tt.Name)
 		if tt.Alias != "" && tt.Alias != tt.Name {
 			b.WriteString(" AS ")
-			b.WriteString(tt.Alias)
+			deparseIdent(b, tt.Alias)
 		}
 	case *JoinExpr:
 		deparseTable(b, tt.Left)
@@ -158,7 +201,7 @@ func deparseTable(b *strings.Builder, t TableExpr) {
 		b.WriteByte('(')
 		deparseSelect(b, tt.Select)
 		b.WriteString(") AS ")
-		b.WriteString(tt.Alias)
+		deparseIdent(b, tt.Alias)
 	}
 }
 
@@ -168,10 +211,10 @@ func deparseExpr(b *strings.Builder, e Expr) {
 		b.WriteString(x.Value.SQLLiteral())
 	case *ColumnRef:
 		if x.Table != "" {
-			b.WriteString(x.Table)
+			deparseIdent(b, x.Table)
 			b.WriteByte('.')
 		}
-		b.WriteString(x.Name)
+		deparseIdent(b, x.Name)
 	case *BinaryExpr:
 		deparseChild(b, x.Left, precOf(x.Op), true)
 		b.WriteByte(' ')
@@ -184,8 +227,7 @@ func deparseExpr(b *strings.Builder, e Expr) {
 		} else {
 			b.WriteString(x.Op)
 		}
-		if inner, ok := x.X.(*BinaryExpr); ok {
-			_ = inner
+		if _, ok := x.X.(*BinaryExpr); ok {
 			b.WriteByte('(')
 			deparseExpr(b, x.X)
 			b.WriteByte(')')
@@ -193,7 +235,7 @@ func deparseExpr(b *strings.Builder, e Expr) {
 			deparseExpr(b, x.X)
 		}
 	case *FuncCall:
-		b.WriteString(x.Name)
+		deparseIdent(b, x.Name)
 		b.WriteByte('(')
 		if x.Star {
 			b.WriteByte('*')

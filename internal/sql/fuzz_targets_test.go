@@ -1,0 +1,65 @@
+package sql
+
+import "testing"
+
+// Native go-fuzz targets (run by the CI fuzz-smoke job with
+// `go test -fuzz=FuzzX -fuzztime=30s`; without -fuzz they execute the seed
+// corpus as regular tests). The randomized round-trip tests in
+// fuzz_test.go generate *valid* inputs; these targets feed the parsers
+// arbitrary bytes, pinning two properties: no panics on any input, and a
+// stable Deparse/reparse round trip whenever parsing succeeds.
+
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"a + b * 3",
+		"population > 50 AND continent = 'Europe'",
+		"x IN (1, 2, 3)",
+		"name LIKE 'A%' OR year BETWEEN 1990 AND 2000",
+		"CASE WHEN a IS NULL THEN 0 ELSE -a END",
+		"CAST(x AS INT) = ((1))",
+		"NOT (a <= b) <> (c >= d)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := ParseExpr(input)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		text := Deparse(e)
+		back, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("deparse of accepted input does not reparse: %q -> %q: %v", input, text, err)
+		}
+		if again := Deparse(back); again != text {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, text, again)
+		}
+	})
+}
+
+func FuzzParseSelect(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT 1",
+		"SELECT name, capital FROM country WHERE population > 50 ORDER BY name LIMIT 5",
+		"SELECT m.title, c.continent FROM movie m JOIN country c ON m.country = c.name",
+		"SELECT continent, COUNT(*) FROM country GROUP BY continent HAVING COUNT(*) > 2",
+		"SELECT DISTINCT genre FROM movie WHERE year IN (SELECT year FROM movie)",
+		"SELECT * FROM t LEFT JOIN u ON t.a = u.b OFFSET 3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sel, err := ParseSelect(input)
+		if err != nil {
+			return
+		}
+		text := DeparseStmt(sel)
+		back, err := ParseSelect(text)
+		if err != nil {
+			t.Fatalf("deparse of accepted input does not reparse: %q -> %q: %v", input, text, err)
+		}
+		if again := DeparseStmt(back); again != text {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, text, again)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokenKind classifies lexer tokens.
@@ -85,8 +86,13 @@ func (l *Lexer) Next() (Token, error) {
 	}
 	start := l.pos
 	c := l.src[l.pos]
+	// Identifiers are scanned rune-wise: a multi-byte letter is one
+	// character, and an invalid UTF-8 byte is never part of an identifier
+	// (it falls through to lexSymbol's unexpected-character error, so bad
+	// bytes are rejected instead of producing names that cannot re-lex).
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
 	switch {
-	case isIdentStart(rune(c)):
+	case isIdentStart(r):
 		return l.lexIdent(start), nil
 	case c == '"':
 		return l.lexQuotedIdent(start)
@@ -143,8 +149,12 @@ func isIdentPart(r rune) bool {
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 func (l *Lexer) lexIdent(start int) Token {
-	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-		l.pos++
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if (r == utf8.RuneError && size == 1) || !isIdentPart(r) {
+			break
+		}
+		l.pos += size
 	}
 	text := l.src[start:l.pos]
 	return Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: start}

@@ -21,6 +21,12 @@
 // for the fine print on stats), and QueryResult.Usage reports both total
 // accumulated and critical-path simulated latency.
 //
+// StrategyAuto prices every prompt decomposition per table under a
+// token/latency/$ cost model and runs the cheapest (EXPLAIN shows the
+// breakdown), and Config.BatchSize groups keys into batched ATTR prompts
+// on the key-then-attr path — ~BatchSize fewer calls at identical key sets
+// and row order.
+//
 // The facade re-exports the stable surface of the internal packages; see
 // README.md for an overview, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the reproduced evaluation.
@@ -46,11 +52,13 @@ type Config = core.Config
 // Strategy selects the prompt decomposition. See core.Strategy.
 type Strategy = core.Strategy
 
-// Prompt strategies.
+// Prompt strategies. StrategyAuto defers the choice to the cost-based scan
+// planner, which prices the other three per table and runs the cheapest.
 const (
 	StrategyFullTable   = core.StrategyFullTable
 	StrategyKeyThenAttr = core.StrategyKeyThenAttr
 	StrategyPaged       = core.StrategyPaged
+	StrategyAuto        = core.StrategyAuto
 )
 
 // VirtualTable declares an LLM-backed relation. See core.VirtualTable.
