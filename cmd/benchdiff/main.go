@@ -14,11 +14,15 @@
 //
 // Experiments present in the baseline must still exist in the current run
 // (and so must their rows); brand-new experiments in the current run are
-// ignored until the baseline is regenerated to include them.
+// ignored until the baseline is regenerated to include them. -require
+// closes the remaining hole: the named experiments must carry watched
+// metrics in BOTH runs, so regenerating the baseline (or editing the
+// suite) cannot silently drop, say, the Table 11 limit sweep from the
+// gate.
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_baseline.json -current current.json [-tol 0.15]
+//	benchdiff -baseline BENCH_baseline.json -current current.json [-tol 0.15] [-require "Table 9,Table 11"]
 //
 // Exit status: 0 clean, 1 regression or comparison failure.
 package main
@@ -48,6 +52,7 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline run (llmsql-bench -json output)")
 		currentPath  = flag.String("current", "", "current run to compare ('-' or empty reads stdin)")
 		tol          = flag.Float64("tol", 0.15, "allowed relative regression per watched metric")
+		require      = flag.String("require", "", "comma-separated experiment IDs that must carry watched metrics in both runs (e.g. \"Table 9,Table 11\")")
 	)
 	flag.Parse()
 
@@ -66,6 +71,7 @@ func main() {
 
 	var regressions, improvements []string
 	checked := 0
+	checkedByID := map[string]int{}
 	curByID := map[string]bench.Report{}
 	for _, r := range cur.Reports {
 		curByID[r.ID] = r
@@ -86,6 +92,22 @@ func main() {
 		regressions = append(regressions, regs...)
 		improvements = append(improvements, imps...)
 		checked += n
+		checkedByID[br.ID] = n
+	}
+	// Required experiments must actually contribute watched metrics to the
+	// gate: a baseline regenerated without one, a dropped CSV series, or a
+	// header rename that no longer matches the watched() patterns would
+	// otherwise silently shrink the comparison.
+	if *require != "" {
+		for _, id := range strings.Split(*require, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if checkedByID[id] == 0 {
+				regressions = append(regressions, fmt.Sprintf("%s: required experiment contributed no watched metrics to the gate", id))
+			}
+		}
 	}
 
 	for _, s := range improvements {

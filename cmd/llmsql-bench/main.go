@@ -1,8 +1,10 @@
 // Command llmsql-bench runs the full experiment suite — every table and
-// figure of the reconstructed evaluation — and prints the reports in paper
-// order. The output of a full-scale run is recorded in EXPERIMENTS.md, and
-// -json emits a machine-readable run (BENCH_baseline.json is one, checked
-// in so future changes have a perf trajectory to compare against).
+// figure of the reconstructed evaluation, through the Table 11 limit-sweep
+// of the streaming scan — and prints the reports in paper order. The
+// output of a full-scale run is recorded in EXPERIMENTS.md, and -json
+// emits a machine-readable run (BENCH_baseline.json is one, checked in so
+// future changes have a perf trajectory to compare against; cmd/benchdiff
+// -require keeps the efficiency series in the gate).
 //
 // Usage:
 //

@@ -43,7 +43,8 @@ func main() {
 		batch     = flag.Int("batch", 1, "keys per batched ATTR prompt on the key-then-attr path (1 = unbatched)")
 		parallel  = flag.Int("parallel", 1, "worker-pool width for concurrent model calls (1 = serial)")
 		cacheCap  = flag.Int("cache", 0, "completion-cache capacity in entries (0 = off, negative = default)")
-		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts")
+		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts and gate key-then-attr keys on key-only predicates")
+		limitPush = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early (identical rows, fewer prompts)")
 		tolerant  = flag.Bool("tolerant", true, "use the repairing completion parser")
 		score     = flag.Bool("score", false, "score results against the ground truth")
 		explain   = flag.Bool("explain", false, "print the plan instead of executing")
@@ -72,6 +73,7 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.CacheCapacity = *cacheCap
 	cfg.Pushdown = *pushdown
+	cfg.LimitPushdown = *limitPush
 	cfg.Tolerant = *tolerant
 	cfg.Strategy, err = strategyByName(*strategy)
 	if err != nil {
@@ -135,6 +137,9 @@ func main() {
 				s.Table, s.Label(), s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
 			if s.BatchedPrompts > 0 {
 				fmt.Printf(", %d batched (%d fallbacks)", s.BatchedPrompts, s.BatchFallbacks)
+			}
+			if s.KeysGated > 0 || s.KeysAttributed > 0 {
+				fmt.Printf(", %d keys gated, %d attributed", s.KeysGated, s.KeysAttributed)
 			}
 			if s.CacheHits+s.CacheMisses > 0 {
 				fmt.Printf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)

@@ -273,6 +273,7 @@ func RunAll(o Options) ([]Report, error) {
 		Table8Confidence,
 		Table9Parallelism,
 		Table10Batching,
+		Table11LimitPushdown,
 		Figure4Convergence,
 		Figure5ModelQuality,
 		Figure6Popularity,

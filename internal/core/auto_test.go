@@ -85,7 +85,7 @@ func TestAutoQueryRunsChosenStrategy(t *testing.T) {
 // registration estimate in later decisions.
 func TestAutoCardinalityRefinement(t *testing.T) {
 	e, _ := autoTestEngine(t, nil)
-	d, ok := e.store.ScanDecision("country", nil)
+	d, ok := e.store.ScanDecision("country", nil, nil, 0)
 	if !ok {
 		t.Fatal("no decision for registered table")
 	}
@@ -97,7 +97,7 @@ func TestAutoCardinalityRefinement(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := len(res.Result.Rows)
-	d, _ = e.store.ScanDecision("country", nil)
+	d, _ = e.store.ScanDecision("country", nil, nil, 0)
 	if d.EstRows != got {
 		t.Fatalf("estimate after scan should equal observed rows %d, got %d", got, d.EstRows)
 	}
@@ -111,7 +111,7 @@ func TestFilteredScanDoesNotPolluteCardinality(t *testing.T) {
 	if _, err := e.Query("SELECT name FROM country WHERE population > 5000"); err != nil {
 		t.Fatal(err)
 	}
-	d, _ := e.store.ScanDecision("country", nil)
+	d, _ := e.store.ScanDecision("country", nil, nil, 0)
 	if d.EstRows != 40 {
 		t.Fatalf("filtered scan changed the cardinality estimate: %d", d.EstRows)
 	}
@@ -120,7 +120,7 @@ func TestFilteredScanDoesNotPolluteCardinality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, _ = e.store.ScanDecision("country", nil)
+	d, _ = e.store.ScanDecision("country", nil, nil, 0)
 	if d.EstRows != len(res.Result.Rows) {
 		t.Fatalf("unfiltered scan should refine the estimate to %d, got %d", len(res.Result.Rows), d.EstRows)
 	}

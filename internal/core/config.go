@@ -72,8 +72,20 @@ type Config struct {
 	// PageSize is MAXROWS per prompt for StrategyPaged.
 	PageSize int
 	// Pushdown verbalises pushed filters into prompts when true; the
-	// executor re-checks them either way.
+	// executor re-checks them either way. It also arms the key gate of the
+	// key-then-attr pipeline: enumerated keys that a key-only pushed
+	// conjunct rejects are dropped locally before any attribute prompt is
+	// spent (they could never survive the executor's re-check).
 	Pushdown bool
+	// LimitPushdown lets `SELECT ... LIMIT k` terminate scans early: the
+	// planner pushes an advisory row cap through prefix-safe operators
+	// onto the scan, and the key-then-attr pipeline issues its attribute
+	// prompts in demand-driven prefetch windows, launching no new window
+	// once downstream has consumed enough rows. Results are byte-identical
+	// to the unpushed plan at any Parallelism/BatchSize — the scan may
+	// over-fetch at most one prefetch window, never under-fetch. Disabling
+	// it restores the fully materializing scan (ablation/debugging).
+	LimitPushdown bool
 	// Tolerant enables the repairing completion parser; when false only
 	// perfectly formatted rows are accepted (ablation).
 	Tolerant bool
@@ -121,6 +133,7 @@ func DefaultConfig() Config {
 		BatchSize:           1,
 		PageSize:            40,
 		Pushdown:            true,
+		LimitPushdown:       true,
 		Tolerant:            true,
 		Dedup:               true,
 		MaxCompletionTokens: 0,

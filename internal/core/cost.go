@@ -6,6 +6,7 @@ import (
 	"llmsql/internal/llm"
 	"llmsql/internal/plan"
 	"llmsql/internal/rel"
+	"llmsql/internal/sql"
 )
 
 // This file bridges the engine to the planner's scan-cost estimator
@@ -56,8 +57,52 @@ func (s *LLMStore) cardinalityEstimate(t *VirtualTable) int {
 	return defaultCardinality
 }
 
-// scanCostModel assembles the estimator inputs for scanning cols of t.
-func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int) plan.ScanCostModel {
+// keySelectivity crudely estimates the fraction of entities surviving the
+// key-only conjuncts of a pushed filter — the conjuncts the scan's gate
+// enforces locally, so they genuinely shrink the attribute fan-out.
+// Equality and IN pin a handful of keys; any other key-only predicate is
+// guessed at one third. Non-key conjuncts contribute nothing: the gate
+// cannot decide them, so every enumerated key still reaches the attribute
+// phase. The guess only feeds estimates (EXPLAIN labels them "est");
+// accounting always charges what actually ran.
+func keySelectivity(filter sql.Expr, keyName string, rows int) float64 {
+	if filter == nil {
+		return 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	sel := 1.0
+	for _, c := range keyOnlyConjuncts(filter, keyName) {
+		switch x := c.(type) {
+		case *sql.BinaryExpr:
+			if x.Op == sql.OpEq {
+				sel *= 1 / float64(rows)
+			} else {
+				sel *= 1.0 / 3
+			}
+		case *sql.InExpr:
+			if !x.Not && len(x.List) > 0 {
+				sel *= float64(len(x.List)) / float64(rows)
+			} else {
+				sel *= 1.0 / 3
+			}
+		default:
+			sel *= 1.0 / 3
+		}
+	}
+	if sel < 1/float64(rows) {
+		sel = 1 / float64(rows)
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// scanCostModel assembles the estimator inputs for scanning cols of t
+// under the given pushed filter and advisory limit.
+func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int, filter sql.Expr, limit int64) plan.ScanCostModel {
 	cfg := s.cfg
 	keyPos := t.Schema.KeyIndexes()[0]
 	attrCols := 0
@@ -81,9 +126,10 @@ func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int) plan.ScanCostModel
 	if cfg.Temperature <= 0 {
 		rounds = 1
 	}
+	estRows := s.cardinalityEstimate(t)
 	return plan.ScanCostModel{
 		Cost:             s.costModel,
-		Rows:             s.cardinalityEstimate(t),
+		Rows:             estRows,
 		AttrCols:         attrCols,
 		ListPromptTokens: llm.CountTokens(buildListPrompt(t, cols, nil, nil, 0)),
 		KeysPromptTokens: llm.CountTokens(buildKeysPrompt(t, nil, nil, 0)),
@@ -97,14 +143,19 @@ func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int) plan.ScanCostModel
 		PageSize:         cfg.PageSize,
 		BatchSize:        cfg.BatchSize,
 		Parallelism:      cfg.Parallelism,
+		Limit:            limit,
+		Selectivity:      keySelectivity(filter, t.Schema.Col(keyPos).Name, estRows),
 	}
 }
 
-// decide prices the scan of cols over t and returns the decision. With
-// StrategyAuto the cost model chooses; otherwise the configured strategy is
-// reported as forced, with the candidate breakdown kept advisory.
-func (s *LLMStore) decide(t *VirtualTable, cols []int) plan.ScanDecision {
-	m := s.scanCostModel(t, cols)
+// decide prices the scan of cols over t — under the pushed filter and
+// advisory limit the scan will actually run with — and returns the
+// decision. With StrategyAuto the cost model chooses; otherwise the
+// configured strategy is reported as forced, with the candidate breakdown
+// kept advisory. filter and limit must already respect the Pushdown /
+// LimitPushdown configuration (callers pass nil / 0 when disabled).
+func (s *LLMStore) decide(t *VirtualTable, cols []int, filter sql.Expr, limit int64) plan.ScanDecision {
+	m := s.scanCostModel(t, cols, filter, limit)
 	d := m.Decide()
 	if s.cfg.Strategy != StrategyAuto {
 		d.Auto = false
@@ -115,15 +166,23 @@ func (s *LLMStore) decide(t *VirtualTable, cols []int) plan.ScanDecision {
 
 // ScanDecision implements plan.ScanAdvisor: the planner calls it while
 // annotating scans so EXPLAIN can show the strategy choice and its cost
-// breakdown.
-func (s *LLMStore) ScanDecision(table string, needed []bool) (plan.ScanDecision, bool) {
+// breakdown, including the limit hint and the expected attribute fan-out.
+func (s *LLMStore) ScanDecision(table string, needed []bool, filter sql.Expr, limit int64) (plan.ScanDecision, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.tables[strings.ToLower(table)]
 	if !ok {
 		return plan.ScanDecision{}, false
 	}
-	return s.decide(t, neededColumns(t.Schema, needed)), true
+	if !s.cfg.Pushdown {
+		filter = nil
+	} else {
+		filter = stripQualifiers(filter)
+	}
+	if !s.cfg.LimitPushdown || limit < 0 {
+		limit = 0
+	}
+	return s.decide(t, neededColumns(t.Schema, needed), filter, limit), true
 }
 
 // strategyByName maps a decision back to the executable strategy.

@@ -98,7 +98,7 @@ func (e *Engine) Query(query string) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	node, err := plan.Plan(sel, e.catalog())
+	node, err := plan.PlanOpts(sel, e.catalog(), e.planOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +212,7 @@ func (e *Engine) QueryAnalyze(query string) (*QueryResult, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	node, err := plan.Plan(sel, e.catalog())
+	node, err := plan.PlanOpts(sel, e.catalog(), e.planOptions())
 	if err != nil {
 		return nil, "", err
 	}
@@ -238,7 +238,7 @@ func (e *Engine) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	node, err := plan.Plan(sel, e.catalog())
+	node, err := plan.PlanOpts(sel, e.catalog(), e.planOptions())
 	if err != nil {
 		return "", err
 	}
@@ -247,6 +247,14 @@ func (e *Engine) Explain(query string) (string, error) {
 
 // TotalUsage returns the model consumption since engine creation.
 func (e *Engine) TotalUsage() llm.Usage { return e.model.Usage() }
+
+// planOptions maps the engine configuration onto optimizer rule options
+// (currently just the advisory LIMIT hint on scans).
+func (e *Engine) planOptions() plan.Options {
+	opts := plan.DefaultOptions()
+	opts.LimitPushdown = e.store.Config().LimitPushdown
+	return opts
+}
 
 // catalog resolves virtual tables first, then local ones.
 func (e *Engine) catalog() plan.Catalog {

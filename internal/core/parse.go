@@ -83,10 +83,30 @@ func parseListCompletion(text string, schema rel.Schema, cols []int, keyPos int,
 			stats.RowsDropped++
 			continue
 		}
+		// Normalize the entity key once, here, so the emitted row, the
+		// dedup/convergence key, exclusion lists and every downstream ATTR
+		// prompt all agree on one spelling. Without this, whitespace
+		// variants of one entity ("United  Kingdom") defeat dedup, desync
+		// the prompt<->row pairing of the attribute phase, and miss the
+		// completion cache. This is unconditional canonicalization, not a
+		// repair: it applies (and is uncounted) under the strict parser
+		// too, which accepts or rejects lines before this point.
+		if schema.Col(keyPos).Type == rel.TypeText {
+			if norm := normalizeKeyText(row[keyPos].AsText()); norm != row[keyPos].AsText() {
+				row[keyPos] = rel.Text(norm)
+			}
+		}
 		rows = append(rows, row)
 		stats.RowsParsed++
 	}
 	return rows, stats
+}
+
+// normalizeKeyText canonicalizes an entity key's whitespace: edges
+// trimmed, interior runs collapsed to single spaces. Parsing already trims
+// field edges, so this is about interior variants.
+func normalizeKeyText(s string) string {
+	return strings.Join(strings.Fields(s), " ")
 }
 
 // splitRowLine turns a completion line into fields. It reports the number
@@ -235,7 +255,7 @@ func parseAttrBatchCompletion(text string, keys []string, t rel.DataType, tolera
 	}
 	index := make(map[string]int, len(keys))
 	for i, k := range keys {
-		index[strings.ToLower(strings.TrimSpace(k))] = i
+		index[strings.ToLower(normalizeKeyText(k))] = i
 	}
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
@@ -262,7 +282,7 @@ func parseAttrBatchCompletion(text string, keys []string, t rel.DataType, tolera
 				continue
 			}
 		}
-		i, known := index[strings.ToLower(strings.TrimSpace(keyPart))]
+		i, known := index[strings.ToLower(normalizeKeyText(keyPart))]
 		if !known || found[i] {
 			continue // unattributable line, or a duplicate for a seen key
 		}

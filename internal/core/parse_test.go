@@ -210,3 +210,50 @@ func TestParseAttrMultiline(t *testing.T) {
 		t.Fatalf("multiline attr: %v %v", v, ok)
 	}
 }
+
+func TestParseNormalizesKeyWhitespace(t *testing.T) {
+	// Interior whitespace runs in the entity key are collapsed at parse
+	// time, so the emitted row, dedup identity, ATTR prompts and cache all
+	// agree on one spelling (regression: variants used to flow through).
+	text := "United  Kingdom | London | 67\nNew\t York | Albany | 20"
+	rows, stats := parseListCompletion(text, parseSchema, allCols(), 0, true)
+	if len(rows) != 2 {
+		t.Fatalf("rows: %v", rows)
+	}
+	if got := rows[0][0].AsText(); got != "United Kingdom" {
+		t.Fatalf("key not normalized: %q", got)
+	}
+	if got := rows[1][0].AsText(); got != "New York" {
+		t.Fatalf("key not normalized: %q", got)
+	}
+	// Non-key fields keep their parsed spelling.
+	if rows[0][1].AsText() != "London" {
+		t.Fatalf("capital: %v", rows[0][1])
+	}
+	// Canonicalization is not a repair: the strict-parser ablation must
+	// stay repair-free on well-formed lines.
+	if stats.Repairs != 0 {
+		t.Fatalf("normalization must not count as a repair: %+v", stats)
+	}
+	strictRows, strictStats := parseListCompletion(text, parseSchema, allCols(), 0, false)
+	if len(strictRows) != 2 || strictStats.Repairs != 0 {
+		t.Fatalf("strict parse: rows=%d stats=%+v", len(strictRows), strictStats)
+	}
+	if got := strictRows[0][0].AsText(); got != "United Kingdom" {
+		t.Fatalf("strict parser must canonicalize keys too: %q", got)
+	}
+}
+
+func TestParseBatchMatchesWhitespaceVariantKeys(t *testing.T) {
+	// A batched ATTRS answer echoing a key with different interior spacing
+	// must still be attributed to that key, not dropped into fallback.
+	vals, ok, found := parseAttrBatchCompletion(
+		"United  Kingdom | London\nFrance | Paris",
+		[]string{"United Kingdom", "France"}, rel.TypeText, true)
+	if !found[0] || !ok[0] || vals[0].AsText() != "London" {
+		t.Fatalf("whitespace-variant echo not matched: found=%v ok=%v vals=%v", found, ok, vals)
+	}
+	if !found[1] || vals[1].AsText() != "Paris" {
+		t.Fatalf("clean echo broken: %v", vals)
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"llmsql/internal/exec"
+	"llmsql/internal/expr"
 	"llmsql/internal/llm"
+	"llmsql/internal/plan"
 	"llmsql/internal/rel"
 	"llmsql/internal/sql"
 )
@@ -32,8 +34,18 @@ type ScanStats struct {
 	BatchFallbacks int
 	// Rounds of enumeration sampling actually run.
 	Rounds int
-	// Rows emitted to the executor.
+	// Rows emitted to the executor. A scan abandoned early (a LIMIT
+	// upstream stopped pulling) counts only the rows actually consumed.
 	RowsEmitted int
+	// KeysGated counts enumerated keys dropped by the local key gate of
+	// the key-then-attr pipeline: a key-only pushed conjunct rejected them,
+	// so they never generated attribute prompts (the executor's re-check
+	// would have dropped their rows anyway).
+	KeysGated int
+	// KeysAttributed counts keys that actually entered the attribute
+	// phase. With a pushed limit this stops at the last demand-driven
+	// prefetch window; without one it equals the surviving key count.
+	KeysAttributed int
 	// Duplicates removed by entity-key dedup.
 	Duplicates int
 	// LowConfidenceDropped counts entities removed by the MinConfidence
@@ -136,7 +148,11 @@ func (s *LLMStore) TakeStats() []ScanStats {
 func (s *LLMStore) Config() Config { return s.cfg }
 
 // Scan implements exec.Source: it runs the configured prompt strategy and
-// returns the retrieved rows.
+// returns a row stream. The enumeration phase runs eagerly (its errors
+// surface here); the key-then-attr attribute phase streams demand-driven,
+// so a LIMIT upstream that stops pulling also stops the prompt spend. The
+// scan's statistics and critical-path accounting are published when the
+// stream is exhausted or closed.
 func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 	s.mu.Lock()
 	t, ok := s.tables[strings.ToLower(req.Table)]
@@ -145,13 +161,22 @@ func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 		return nil, fmt.Errorf("core: unknown virtual table %q", req.Table)
 	}
 	cols := neededColumns(t.Schema, req.Needed)
+	var filter sql.Expr
+	if s.cfg.Pushdown {
+		filter = stripQualifiers(req.Filter)
+	}
+	limit := req.Limit
+	if limit < 0 || !s.cfg.LimitPushdown {
+		limit = 0
+	}
 	// Resolve the effective strategy: with StrategyAuto the cost-based
-	// planner prices the decompositions for this table and column set and
-	// the cheapest runs (the same decision EXPLAIN annotates).
+	// planner prices the decompositions for this table, column set and
+	// limit hint and the cheapest runs (the same decision EXPLAIN
+	// annotates).
 	strategy := s.cfg.Strategy
 	auto := strategy == StrategyAuto
 	if auto {
-		strategy = strategyByName(s.decide(t, cols).Chosen)
+		strategy = strategyByName(s.decide(t, cols, filter, limit).Chosen)
 	}
 	s.mu.Unlock()
 
@@ -161,45 +186,49 @@ func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 		schema:   req.Schema,
 		cols:     cols,
 		strategy: strategy,
+		filter:   filter,
+		limit:    limit,
 		stats:    ScanStats{Table: t.Name, Strategy: strategy, Auto: auto},
 	}
-	if s.cfg.Pushdown {
-		scan.filter = stripQualifiers(req.Filter)
-	}
 
-	var rows []rel.Row
-	var err error
-	switch strategy {
-	case StrategyKeyThenAttr:
-		rows, err = scan.runKeyThenAttr()
-	case StrategyPaged:
-		rows, err = scan.runPaged()
-	default:
-		rows, err = scan.runFullTable()
+	var stream func() (rel.Row, bool, error)
+	if strategy == StrategyKeyThenAttr {
+		st, err := scan.startKeyThenAttr()
+		if err != nil {
+			return nil, err
+		}
+		stream = st
+	} else {
+		var rows []rel.Row
+		var err error
+		if strategy == StrategyPaged {
+			rows, err = scan.runPaged()
+		} else {
+			rows, err = scan.runFullTable()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.Dedup {
+			rows = scan.dedup(rows)
+		}
+		// Refine the planner's cardinality estimate — but only from
+		// unfiltered scans: a pushed-down predicate makes the count a
+		// selectivity artifact, not the table's size.
+		if scan.filter == nil {
+			s.noteCardinality(t.Name, len(rows))
+		}
+		pos := 0
+		stream = func() (rel.Row, bool, error) {
+			if pos >= len(rows) {
+				return nil, false, nil
+			}
+			r := rows[pos]
+			pos++
+			return r, true, nil
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	if s.cfg.Dedup {
-		rows = scan.dedup(rows)
-	}
-	scan.stats.RowsEmitted = len(rows)
-	// Refine the planner's cardinality estimate — but only from unfiltered
-	// scans: a pushed-down predicate makes the emitted count a selectivity
-	// artifact, not the table's size.
-	if scan.filter == nil {
-		s.noteCardinality(t.Name, len(rows))
-	}
-	// Report this scan's simulated critical path: its phases are a
-	// dependency chain, so their makespans added up along the way.
-	if wa, ok := s.model.(llm.WallAdder); ok {
-		wa.AddWall(scan.wall)
-	}
-
-	s.mu.Lock()
-	s.stats = append(s.stats, scan.stats)
-	s.mu.Unlock()
-	return newSliceIter(rows), nil
+	return &scanIter{scan: scan, next: stream}, nil
 }
 
 // neededColumns converts the executor's needed mask into schema positions,
@@ -236,6 +265,7 @@ type llmScan struct {
 	cols     []int
 	strategy Strategy // effective strategy (auto already resolved)
 	filter   sql.Expr
+	limit    int64 // advisory row cap (0 = none; already gated on config)
 	stats    ScanStats
 	wall     time.Duration // simulated critical-path latency of this scan
 }
@@ -423,8 +453,12 @@ func (sc *llmScan) filterByConfidence(rows []rel.Row, appearances map[string]int
 	return kept
 }
 
+// entityKey is the dedup/convergence identity of a row: the parse-time
+// normalized key (see normalizeKeyText), case-folded. The normalization
+// here is defensive — rows from parseListCompletion already carry
+// canonical keys.
 func entityKey(row rel.Row, keyPos int) string {
-	return strings.ToLower(strings.TrimSpace(row[keyPos].AsText()))
+	return strings.ToLower(normalizeKeyText(row[keyPos].AsText()))
 }
 
 // ---- strategies ----
@@ -461,7 +495,7 @@ func (sc *llmScan) runPaged() ([]rel.Row, error) {
 				key := entityKey(row, sc.keyPos())
 				if !excludeSet[key] {
 					excludeSet[key] = true
-					exclude = append(exclude, strings.TrimSpace(row[sc.keyPos()].AsText()))
+					exclude = append(exclude, row[sc.keyPos()].AsText())
 				}
 			}
 			return rows
@@ -476,14 +510,19 @@ type attrVote struct {
 	lat    time.Duration
 }
 
-func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
-	// Phase 1: enumerate keys (pushing down only filters the key column
-	// alone can decide).
+// startKeyThenAttr runs the enumeration phase of the key-then-attr
+// pipeline eagerly — KEYS prompts, then the local key gate — and returns a
+// demand-driven stream over the attribute phase. Attribute prompts are
+// issued in batch-aligned prefetch windows: a window's fan-out launches
+// only when the consumer demands a row beyond what is buffered, so a LIMIT
+// upstream that stops pulling stops the spend after at most one window of
+// over-fetch. Rows stream in key order, so at any Parallelism/BatchSize the
+// emitted prefix is byte-identical to the fully materialized scan.
+func (sc *llmScan) startKeyThenAttr() (func() (rel.Row, bool, error), error) {
+	// Phase 1: enumerate keys. The prompt carries the conjuncts the key
+	// column alone can decide; the gate below enforces them locally.
 	keyPos := sc.keyPos()
-	keyFilter := sc.filter
-	if keyFilter != nil && !filterUsesOnly(keyFilter, sc.table.Schema.Col(keyPos).Name) {
-		keyFilter = nil
-	}
+	keyFilter := sc.keyOnlyFilter()
 	keyPrompt := buildKeysPrompt(sc.table, keyFilter, nil, 0)
 	keyRows, err := sc.runRounds(false,
 		func(seed int64) (llm.CompletionResponse, error) {
@@ -497,56 +536,181 @@ func (sc *llmScan) runKeyThenAttr() ([]rel.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The enumeration is complete regardless of how much of the stream the
+	// consumer ends up pulling, so the cardinality estimate can be noted
+	// now (unfiltered scans only, as ever).
+	if sc.filter == nil {
+		sc.store.noteCardinality(sc.table.Name, len(keyRows))
+	}
+	// The gate: keys a key-only pushed conjunct rejects would have their
+	// rows dropped by the executor's re-check anyway — spending attribute
+	// prompts on them buys nothing.
+	keyRows = sc.gateKeys(keyRows, keyFilter)
 
-	// Phase 2: attribute retrieval with Votes-way self-consistency. With
-	// BatchSize <= 1 every (key, column, vote) is one small ATTR prompt;
-	// with BatchSize > 1 up to BatchSize keys share one prompt per
-	// (column, vote) and keys whose batched answer fails to parse fall
-	// back to single-key prompts. Either way the calls are independent and
-	// fan out across the worker pool; votes land in index-disjoint slots
-	// and are merged in deterministic key/column/vote order afterwards,
-	// never in completion order.
 	attrCols := make([]int, 0, len(sc.cols))
 	for _, c := range sc.cols {
 		if c != keyPos {
 			attrCols = append(attrCols, c)
 		}
 	}
-	votes := sc.cfg().Votes
 	keys := make([]string, len(keyRows))
 	for i, row := range keyRows {
-		keys[i] = strings.TrimSpace(row[keyPos].AsText())
+		keys[i] = row[keyPos].AsText()
 	}
+	votes := sc.cfg().Votes
+	// Without limit pushdown every key is attributed in one window — the
+	// fully materializing scan, bit-for-bit.
+	window := len(keyRows)
+	if sc.cfg().LimitPushdown {
+		window = plan.PrefetchWindow(sc.cfg().Parallelism, len(attrCols), votes, sc.cfg().BatchSize, sc.limit)
+	}
+	if window < 1 {
+		window = 1
+	}
+	st := &attrStream{
+		sc:       sc,
+		keyRows:  keyRows,
+		keys:     keys,
+		attrCols: attrCols,
+		votes:    votes,
+		window:   window,
+		primary:  llm.NewSched(sc.cfg().Parallelism),
+		fallback: llm.NewSched(sc.cfg().Parallelism),
+	}
+	return st.nextRow, nil
+}
+
+// keyOnlyConjuncts returns the pushed conjuncts that reference no column
+// but the entity key. They are the only predicate parts decidable between
+// the enumeration and attribute phases, so the gate enforces exactly this
+// set and the cost model's selectivity estimate prices exactly this set
+// (keySelectivity) — keep the two from drifting by sharing the predicate.
+func keyOnlyConjuncts(filter sql.Expr, keyName string) []sql.Expr {
+	var keep []sql.Expr
+	for _, c := range sql.SplitConjuncts(filter) {
+		if len(sql.ColumnRefs(c)) > 0 && filterUsesOnly(c, keyName) {
+			keep = append(keep, c)
+		}
+	}
+	return keep
+}
+
+// keyOnlyFilter returns the conjunction of the scan's key-only pushed
+// conjuncts (nil when there are none).
+func (sc *llmScan) keyOnlyFilter() sql.Expr {
+	if sc.filter == nil {
+		return nil
+	}
+	keyName := sc.table.Schema.Col(sc.keyPos()).Name
+	return sql.JoinConjuncts(keyOnlyConjuncts(sc.filter, keyName))
+}
+
+// gateKeys enforces the key-only pushed conjuncts locally on the
+// enumerated key rows, before any attribute spend. Only rows the
+// executor's re-applied filter would certainly drop are removed: a row
+// whose predicate evaluation errors is kept so the error still surfaces
+// where the unpushed plan would raise it.
+func (sc *llmScan) gateKeys(keyRows []rel.Row, keyFilter sql.Expr) []rel.Row {
+	if keyFilter == nil || len(keyRows) == 0 {
+		return keyRows
+	}
+	pred, err := expr.CompileBool(keyFilter, sc.schema)
+	if err != nil {
+		// The hint is advisory; an uncompilable predicate (which the
+		// executor will reject on its own) must not break the scan.
+		return keyRows
+	}
+	kept := keyRows[:0]
+	for _, row := range keyRows {
+		ts, err := pred(row)
+		if err == nil && ts != rel.True {
+			sc.stats.KeysGated++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	return kept
+}
+
+// attrStream is the demand-driven attribute phase of a key-then-attr scan.
+// Keys are attributed window by window; within a window the (batched) ATTR
+// prompts fan out across the worker pool exactly as in the materialized
+// scan. Windows are batch-aligned, so prompt grouping, vote seeds and the
+// merged values are independent of the window size — early termination
+// changes how far the key list gets, never what any row contains.
+type attrStream struct {
+	sc       *llmScan
+	keyRows  []rel.Row
+	keys     []string
+	attrCols []int
+	votes    int
+	window   int // keys attributed per fetch
+	next     int // first key index not yet attributed
+	buf      []rel.Row
+	// primary and fallback accumulate the whole phase's fan-out latencies
+	// across windows, so the critical-path account at full consumption is
+	// identical to the single big fan-out of the materialized scan.
+	primary  *llm.Sched
+	fallback *llm.Sched
+}
+
+func (st *attrStream) nextRow() (rel.Row, bool, error) {
+	for len(st.buf) == 0 {
+		if st.next >= len(st.keyRows) {
+			return nil, false, nil
+		}
+		if err := st.fetchWindow(); err != nil {
+			return nil, false, err
+		}
+	}
+	row := st.buf[0]
+	st.buf = st.buf[1:]
+	return row, true, nil
+}
+
+// fetchWindow attributes the next window of keys and buffers their rows.
+func (st *attrStream) fetchWindow() error {
+	sc := st.sc
+	lo := st.next
+	hi := lo + st.window
+	if hi > len(st.keyRows) {
+		hi = len(st.keyRows)
+	}
+	st.next = hi
+	keys := st.keys[lo:hi]
 	var results []attrVote
-	if sc.cfg().BatchSize > 1 && len(keys) > 0 && len(attrCols) > 0 {
-		results, err = sc.attrBatched(keys, attrCols, votes)
+	var err error
+	if sc.cfg().BatchSize > 1 && len(keys) > 0 && len(st.attrCols) > 0 {
+		results, err = sc.attrBatched(keys, st.attrCols, st.votes, st.primary, st.fallback)
 	} else {
-		results, err = sc.attrSingle(keys, attrCols, votes)
+		results, err = sc.attrSingle(keys, st.attrCols, st.votes, st.primary)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-
-	out := make([]rel.Row, 0, len(keyRows))
-	for ki, keyRow := range keyRows {
+	sc.stats.KeysAttributed += len(keys)
+	keyPos := sc.keyPos()
+	for ki := lo; ki < hi; ki++ {
 		row := make(rel.Row, sc.table.Schema.Len())
 		for i := range row {
 			row[i] = rel.NullOf(sc.table.Schema.Col(i).Type)
 		}
-		row[keyPos] = keyRow[keyPos]
-		for ci, c := range attrCols {
-			base := (ki*len(attrCols) + ci) * votes
-			row[c] = mergeVotes(results[base:base+votes], sc.table.Schema.Col(c).Type)
+		row[keyPos] = st.keyRows[ki][keyPos]
+		for ci, c := range st.attrCols {
+			base := ((ki-lo)*len(st.attrCols) + ci) * st.votes
+			row[c] = mergeVotes(results[base:base+st.votes], sc.table.Schema.Col(c).Type)
 		}
-		out = append(out, row)
+		st.buf = append(st.buf, row)
 	}
-	return out, nil
+	return nil
 }
 
-// attrSingle is the unbatched attribute phase: one ATTR prompt per
-// (key, column, vote), fanned out across the worker pool. The returned
-// slice is indexed (key-major, then column, then vote).
-func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int) ([]attrVote, error) {
+// attrSingle is the unbatched attribute phase for one window of keys: one
+// ATTR prompt per (key, column, vote), fanned out across the worker pool.
+// The returned slice is indexed (key-major, then column, then vote). sched
+// is shared across the scan's windows so the accumulated critical path
+// matches one big fan-out.
+func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int, sched *llm.Sched) ([]attrVote, error) {
 	n := len(keys) * len(attrCols) * votes
 	results := make([]attrVote, n)
 	err := runTasks(sc.cfg().Parallelism, n, func(i int) error {
@@ -567,23 +731,26 @@ func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int) ([]attrV
 	sc.stats.Prompts += n
 	// Replay the fan-out's latencies through the lane scheduler (in task
 	// order) to account the phase's simulated critical path.
-	sched := llm.NewSched(sc.cfg().Parallelism)
+	before := sched.Makespan()
 	for i := range results {
 		sched.Add(results[i].lat)
 		sc.countCache(results[i].cached)
 	}
-	sc.addWall(sched.Makespan())
+	sc.addWall(sched.Makespan() - before)
 	return results, nil
 }
 
-// attrBatched is the batched attribute phase: keys are chunked in order
-// into groups of BatchSize, and one ATTRS prompt asks for one column of a
-// whole group per vote. Batched answers are parsed per key; cells whose
-// line is missing or malformed fall back to single-key prompts in a second
+// attrBatched is the batched attribute phase for one window of keys: the
+// window is chunked in order into groups of BatchSize (callers keep
+// windows batch-aligned, so the groups are the same ones the materialized
+// scan would form), and one ATTRS prompt asks for one column of a whole
+// group per vote. Batched answers are parsed per key; cells whose line is
+// missing or malformed fall back to single-key prompts in a second
 // fan-out, so every (key, column, vote) cell ends with exactly one vote —
 // the same accounting as the unbatched phase, at ~BatchSize fewer prompts.
-// The returned slice is indexed exactly like attrSingle's.
-func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int) ([]attrVote, error) {
+// The returned slice is indexed exactly like attrSingle's. primary and
+// fallback are the scan-wide schedulers for the two fan-outs.
+func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary, fallback *llm.Sched) ([]attrVote, error) {
 	batch := sc.cfg().BatchSize
 	numBatches := (len(keys) + batch - 1) / batch
 
@@ -619,17 +786,17 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int) ([]attr
 	}
 	sc.stats.Prompts += n
 	sc.stats.BatchedPrompts += n
-	sched := llm.NewSched(sc.cfg().Parallelism)
+	before := primary.Makespan()
 	for i := range tasks {
-		sched.Add(tasks[i].lat)
+		primary.Add(tasks[i].lat)
 		sc.countCache(tasks[i].cached)
 	}
-	sc.addWall(sched.Makespan())
+	sc.addWall(primary.Makespan() - before)
 
 	// Scatter batched answers into the (key, column, vote) layout and
 	// collect the cells that need a single-key fallback.
 	results := make([]attrVote, len(keys)*len(attrCols)*votes)
-	var fallback []int
+	var repair []int
 	for i := range results {
 		ki := i / (len(attrCols) * votes)
 		ci := i / votes % len(attrCols)
@@ -640,19 +807,19 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int) ([]attr
 			results[i] = attrVote{val: t.vals[off], ok: t.ok[off]}
 			continue
 		}
-		fallback = append(fallback, i)
+		repair = append(repair, i)
 	}
-	if len(fallback) == 0 {
+	if len(repair) == 0 {
 		return results, nil
 	}
 
 	// Fallback fan-out: the single-key prompts use the same vote seeds as
 	// the unbatched phase, so a repaired cell gets the answer attrSingle
 	// would have retrieved for it.
-	sc.stats.BatchFallbacks += len(fallback)
-	fb := make([]attrVote, len(fallback))
-	err = runTasks(sc.cfg().Parallelism, len(fallback), func(j int) error {
-		i := fallback[j]
+	sc.stats.BatchFallbacks += len(repair)
+	fb := make([]attrVote, len(repair))
+	err = runTasks(sc.cfg().Parallelism, len(repair), func(j int) error {
+		i := repair[j]
 		ki := i / (len(attrCols) * votes)
 		c := attrCols[i/votes%len(attrCols)]
 		v := i % votes
@@ -667,14 +834,14 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int) ([]attr
 	if err != nil {
 		return nil, err
 	}
-	sc.stats.Prompts += len(fallback)
-	sched = llm.NewSched(sc.cfg().Parallelism)
+	sc.stats.Prompts += len(repair)
+	before = fallback.Makespan()
 	for j := range fb {
-		sched.Add(fb[j].lat)
+		fallback.Add(fb[j].lat)
 		sc.countCache(fb[j].cached)
-		results[fallback[j]] = attrVote{val: fb[j].val, ok: fb[j].ok}
+		results[repair[j]] = attrVote{val: fb[j].val, ok: fb[j].ok}
 	}
-	sc.addWall(sched.Makespan())
+	sc.addWall(fallback.Makespan() - before)
 	return results, nil
 }
 
@@ -737,23 +904,52 @@ func (sc *llmScan) dedup(rows []rel.Row) []rel.Row {
 	return out
 }
 
-// sliceIter adapts materialized rows to exec.RowIter.
-type sliceIter struct {
-	rows []rel.Row
-	pos  int
+// scanIter adapts a strategy's row stream to exec.RowIter. It counts the
+// rows actually emitted and publishes the scan's statistics and simulated
+// critical path to the store exactly once — on exhaustion, error or Close,
+// whichever comes first (early Close is how an upstream LIMIT abandons the
+// stream).
+type scanIter struct {
+	scan    *llmScan
+	next    func() (rel.Row, bool, error)
+	flushed bool
 }
 
-func newSliceIter(rows []rel.Row) *sliceIter { return &sliceIter{rows: rows} }
-
 // Next implements exec.RowIter.
-func (s *sliceIter) Next() (rel.Row, bool, error) {
-	if s.pos >= len(s.rows) {
+func (it *scanIter) Next() (rel.Row, bool, error) {
+	if it.flushed {
 		return nil, false, nil
 	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, true, nil
+	row, ok, err := it.next()
+	if err != nil || !ok {
+		it.flush()
+		return nil, false, err
+	}
+	it.scan.stats.RowsEmitted++
+	return row, true, nil
 }
 
 // Close implements exec.RowIter.
-func (s *sliceIter) Close() error { return nil }
+func (it *scanIter) Close() error {
+	it.flush()
+	return nil
+}
+
+// flush publishes the scan's accumulated statistics and critical-path
+// latency. Idempotent: the executor may Close an already-exhausted stream.
+func (it *scanIter) flush() {
+	if it.flushed {
+		return
+	}
+	it.flushed = true
+	sc := it.scan
+	s := sc.store
+	// Report this scan's simulated critical path: its phases are a
+	// dependency chain, so their makespans added up along the way.
+	if wa, ok := s.model.(llm.WallAdder); ok {
+		wa.AddWall(sc.wall)
+	}
+	s.mu.Lock()
+	s.stats = append(s.stats, sc.stats)
+	s.mu.Unlock()
+}

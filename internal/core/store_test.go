@@ -483,3 +483,50 @@ func TestStoreConfidenceFilterSkipsPaged(t *testing.T) {
 		t.Fatalf("paged scan must ignore confidence filter: %v", rows)
 	}
 }
+
+func TestStoreWhitespaceVariantKeysUnify(t *testing.T) {
+	// Regression: the model emits the same entity with different interior
+	// whitespace across rounds. Parse-time normalization must unify them
+	// (one row, one set of ATTR prompts, normalized prompt spelling) —
+	// before the fix the variants defeated dedup and desynced the
+	// prompt<->row pairing of the attribute phase.
+	var attrPrompts []string
+	var mu sync.Mutex
+	model := &scriptModel{respond: func(req llm.CompletionRequest) string {
+		if strings.Contains(req.Prompt, "TASK: KEYS") {
+			if req.Seed == 0 {
+				return "United  Kingdom"
+			}
+			return "United Kingdom"
+		}
+		mu.Lock()
+		attrPrompts = append(attrPrompts, req.Prompt)
+		mu.Unlock()
+		if strings.Contains(req.Prompt, "COLUMN: capital") {
+			return "London"
+		}
+		return "67"
+	}}
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyKeyThenAttr
+	cfg.Temperature = 0.7
+	cfg.MaxRounds = 2
+	cfg.StableRounds = 2
+	s := NewLLMStore(model, cfg)
+	s.Register(storeTable())
+	rows := scanAll(t, s)
+	if len(rows) != 1 {
+		t.Fatalf("whitespace variants not unified: %v", rows)
+	}
+	if got := rows[0][0].AsText(); got != "United Kingdom" {
+		t.Fatalf("emitted key not normalized: %q", got)
+	}
+	if len(attrPrompts) != 2 { // one per non-key column, a single entity
+		t.Fatalf("attribute fan-out not unified: %d prompts", len(attrPrompts))
+	}
+	for _, p := range attrPrompts {
+		if !strings.Contains(p, "ENTITY: United Kingdom") {
+			t.Fatalf("ATTR prompt carries unnormalized key:\n%s", p)
+		}
+	}
+}

@@ -123,6 +123,7 @@ func (b *builder) buildScan(n *plan.ScanNode) (RowIter, error) {
 		Schema: n.TableSchema,
 		Needed: n.Needed,
 		Filter: n.Filter,
+		Limit:  n.Limit,
 	})
 	if err != nil {
 		return nil, err

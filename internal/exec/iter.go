@@ -32,6 +32,12 @@ type ScanRequest struct {
 	Needed []bool
 	// Filter is a predicate over Schema, or nil.
 	Filter sql.Expr
+	// Limit, when positive, is an advisory row cap: the plan consumes at
+	// most this many rows that survive the (re-applied) Filter. Sources
+	// may stop retrieving early because of it but must never return fewer
+	// qualifying rows than they otherwise would; the executor's LimitNode
+	// enforces the real limit regardless. 0 means no hint.
+	Limit int64
 }
 
 // Source provides table access for scans.

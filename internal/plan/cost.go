@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"llmsql/internal/llm"
+	"llmsql/internal/sql"
 )
 
 // This file implements the cost side of scan planning: a token/latency/$
@@ -53,6 +54,13 @@ type ScanDecision struct {
 	Chosen string
 	// EstRows is the cardinality estimate the pricing used.
 	EstRows int
+	// Limit is the advisory row cap pushed onto the scan (0 = none).
+	Limit int64
+	// EstKeysAttributed is the expected number of keys the key-then-attr
+	// strategy pays attribute prompts for:
+	// min(cardinality*selectivity, limit+window). Equal to the filtered
+	// cardinality when no limit is pushed.
+	EstKeysAttributed int
 	// Candidates holds the cost breakdown per strategy, in a stable order.
 	Candidates []StrategyCost
 }
@@ -80,6 +88,9 @@ func (d ScanDecision) String() string {
 	}
 	b.WriteString(d.Chosen)
 	fmt.Fprintf(&b, " est-rows=%d", d.EstRows)
+	if d.Limit > 0 {
+		fmt.Fprintf(&b, " limit=%d est-attr=%d", d.Limit, d.EstKeysAttributed)
+	}
 	for _, c := range d.Candidates {
 		fmt.Fprintf(&b, " | %s: %d prompts, %d tok, $%.4f, %s",
 			c.Strategy, c.Prompts, c.Tokens(), c.Dollars, c.Wall.Round(time.Millisecond))
@@ -94,17 +105,18 @@ func (d ScanDecision) String() string {
 // implement it.
 type ScanAdvisor interface {
 	// ScanDecision prices the scan of table with the given needed mask
-	// (nil = all columns). ok is false when the table is not this
-	// catalog's or no pricing applies.
-	ScanDecision(table string, needed []bool) (ScanDecision, bool)
+	// (nil = all columns), pushed-down filter (nil = none, used for a
+	// selectivity estimate) and advisory row cap (0 = none). ok is false
+	// when the table is not this catalog's or no pricing applies.
+	ScanDecision(table string, needed []bool, filter sql.Expr, limit int64) (ScanDecision, bool)
 }
 
 // ScanDecision implements ScanAdvisor for MultiCatalog by consulting
 // members in order.
-func (m MultiCatalog) ScanDecision(table string, needed []bool) (ScanDecision, bool) {
+func (m MultiCatalog) ScanDecision(table string, needed []bool, filter sql.Expr, limit int64) (ScanDecision, bool) {
 	for _, c := range m {
 		if adv, ok := c.(ScanAdvisor); ok {
-			if d, ok := adv.ScanDecision(table, needed); ok {
+			if d, ok := adv.ScanDecision(table, needed, filter, limit); ok {
 				return d, true
 			}
 		}
@@ -113,15 +125,16 @@ func (m MultiCatalog) ScanDecision(table string, needed []bool) (ScanDecision, b
 }
 
 // annotateScans walks an optimized plan and attaches a ScanDecision to
-// every scan the catalog can price. It runs after column pruning so the
-// Needed masks the estimator sees are final.
+// every scan the catalog can price. It runs after column pruning and limit
+// pushdown so the Needed masks and Limit hints the estimator sees are
+// final.
 func annotateScans(n Node, cat Catalog) {
 	if n == nil {
 		return
 	}
 	if s, ok := n.(*ScanNode); ok {
 		if adv, ok := cat.(ScanAdvisor); ok {
-			if d, ok := adv.ScanDecision(s.Table, s.Needed); ok {
+			if d, ok := adv.ScanDecision(s.Table, s.Needed, s.Filter, s.Limit); ok {
 				s.Decision = &d
 			}
 		}
@@ -170,6 +183,16 @@ type ScanCostModel struct {
 	BatchSize int
 	// Parallelism is the scan worker-pool width.
 	Parallelism int
+	// Limit is the advisory row cap pushed onto the scan (0 = none): the
+	// plan consumes at most this many rows, so the streaming key-then-attr
+	// scan attributes at most Limit plus one prefetch window of keys.
+	Limit int64
+	// Selectivity estimates the fraction of entities surviving the
+	// pushed-down predicate (1 = unfiltered; values <= 0 mean unknown and
+	// are treated as 1). It scales enumeration completions for every
+	// strategy and, because key-only conjuncts are enforced locally by the
+	// scan's gate, the number of keys that reach the attribute phase.
+	Selectivity float64
 }
 
 func (m ScanCostModel) normalized() ScanCostModel {
@@ -194,7 +217,68 @@ func (m ScanCostModel) normalized() ScanCostModel {
 	if m.Parallelism < 1 {
 		m.Parallelism = 1
 	}
+	if m.Limit < 0 {
+		m.Limit = 0
+	}
+	if m.Selectivity <= 0 || m.Selectivity > 1 {
+		m.Selectivity = 1
+	}
 	return m
+}
+
+// effRows is the estimated number of entities the model returns for an
+// enumeration prompt: the cardinality scaled by the pushed predicate's
+// selectivity, at least one.
+func (m ScanCostModel) effRows() int {
+	rows := int(float64(m.Rows)*m.Selectivity + 0.5)
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// PrefetchWindow returns the number of keys the streaming key-then-attr
+// scan attributes per demand-driven window: the smallest batch-aligned key
+// count whose fan-out (attrCols x votes tasks per key) fills the worker
+// pool, capped by the advisory limit (there is no point prefetching past
+// what the plan will consume). Windows are always a multiple of batch so
+// the batched prompt grouping — and therefore every completion — is
+// byte-identical to the unwindowed scan. The same formula prices the
+// expected over-fetch in ScanCostModel.KeyThenAttr.
+func PrefetchWindow(parallelism, attrCols, votes, batch int, limit int64) int {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if attrCols < 1 {
+		attrCols = 1
+	}
+	if votes < 1 {
+		votes = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	tasksPerKey := attrCols * votes
+	w := (parallelism + tasksPerKey - 1) / tasksPerKey
+	if limit > 0 && int64(w) > limit {
+		w = int(limit)
+	}
+	return (w + batch - 1) / batch * batch
+}
+
+// attrKeys is the expected number of keys the key-then-attr strategy pays
+// attribute prompts for: all surviving keys without a limit, and at most
+// limit plus one prefetch window with one (the demand-driven scan stops
+// launching attribute work once downstream has consumed enough rows).
+func (m ScanCostModel) attrKeys() int {
+	keys := m.effRows()
+	if m.Limit > 0 {
+		w := PrefetchWindow(m.Parallelism, m.AttrCols, m.Votes, m.BatchSize, m.Limit)
+		if bound := m.Limit + int64(w); int64(keys) > bound {
+			keys = int(bound)
+		}
+	}
+	return keys
 }
 
 // fanOutWall replays n calls of per-call duration d through the same greedy
@@ -228,7 +312,7 @@ func (m ScanCostModel) price(name string, prompts, promptTok, complTok int, wall
 func (m ScanCostModel) FullTable() StrategyCost {
 	m = m.normalized()
 	perPrompt := m.ListPromptTokens
-	perCompl := m.Rows * m.RowTokens
+	perCompl := m.effRows() * m.RowTokens
 	perCall := m.Cost.Latency(perPrompt, perCompl)
 	return m.price("full-table",
 		m.Rounds, m.Rounds*perPrompt, m.Rounds*perCompl,
@@ -241,7 +325,8 @@ func (m ScanCostModel) FullTable() StrategyCost {
 // so wall latency is the serial sum regardless of parallelism.
 func (m ScanCostModel) Paged() StrategyCost {
 	m = m.normalized()
-	pages := (m.Rows+m.PageSize-1)/m.PageSize + 1
+	eff := m.effRows()
+	pages := (eff+m.PageSize-1)/m.PageSize + 1
 	if pages > m.MaxRounds {
 		pages = m.MaxRounds
 	}
@@ -250,11 +335,11 @@ func (m ScanCostModel) Paged() StrategyCost {
 	for p := 0; p < pages; p++ {
 		// Page p's prompt carries the keys of all previous pages.
 		excluded := p * m.PageSize
-		if excluded > m.Rows {
-			excluded = m.Rows
+		if excluded > eff {
+			excluded = eff
 		}
 		pt := m.ListPromptTokens + excluded*m.KeyTokens
-		rows := m.Rows - excluded
+		rows := eff - excluded
 		if rows > m.PageSize {
 			rows = m.PageSize
 		}
@@ -277,12 +362,13 @@ func (m ScanCostModel) Paged() StrategyCost {
 func (m ScanCostModel) KeyThenAttr() StrategyCost {
 	m = m.normalized()
 	keysPrompt := m.KeysPromptTokens
-	keysCompl := m.Rows * m.KeyTokens
+	keysCompl := m.effRows() * m.KeyTokens
 	wall := m.fanOutWall(m.Rounds, m.Cost.Latency(keysPrompt, keysCompl))
 	promptTok := m.Rounds * keysPrompt
 	complTok := m.Rounds * keysCompl
 
-	batches := (m.Rows + m.BatchSize - 1) / m.BatchSize
+	// Only keys the limit leaves in demand reach the attribute phase.
+	batches := (m.attrKeys() + m.BatchSize - 1) / m.BatchSize
 	attrPrompts := batches * m.AttrCols * m.Votes
 	// A batched prompt lists its keys; a batched answer echoes each key
 	// next to its value. BatchSize 1 degrades to the single-key shape.
@@ -319,9 +405,11 @@ func (m ScanCostModel) Decide() ScanDecision {
 		}
 	}
 	return ScanDecision{
-		Auto:       true,
-		Chosen:     cands[best].Strategy,
-		EstRows:    m.Rows,
-		Candidates: cands,
+		Auto:              true,
+		Chosen:            cands[best].Strategy,
+		EstRows:           m.Rows,
+		Limit:             m.Limit,
+		EstKeysAttributed: m.attrKeys(),
+		Candidates:        cands,
 	}
 }

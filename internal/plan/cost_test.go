@@ -113,7 +113,7 @@ type fakeAdvisor struct {
 	decided []string
 }
 
-func (f *fakeAdvisor) ScanDecision(table string, needed []bool) (ScanDecision, bool) {
+func (f *fakeAdvisor) ScanDecision(table string, needed []bool, filter sql.Expr, limit int64) (ScanDecision, bool) {
 	f.decided = append(f.decided, table)
 	if _, ok := f.MapCatalog[table]; !ok {
 		return ScanDecision{}, false

@@ -26,6 +26,9 @@ func explain(b *strings.Builder, n Node, depth int) {
 		if x.Filter != nil {
 			fmt.Fprintf(b, " [filter: %s]", sql.Deparse(x.Filter))
 		}
+		if x.Limit > 0 {
+			fmt.Fprintf(b, " [limit: %d]", x.Limit)
+		}
 		if x.Needed != nil {
 			var cols []string
 			for i, need := range x.Needed {

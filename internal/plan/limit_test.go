@@ -1,0 +1,183 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+func limitTestCatalog() MapCatalog {
+	return MapCatalog{
+		"country": rel.NewSchema(
+			rel.Column{Name: "name", Type: rel.TypeText, Key: true},
+			rel.Column{Name: "capital", Type: rel.TypeText},
+			rel.Column{Name: "population", Type: rel.TypeInt},
+		),
+	}
+}
+
+// scanOf digs the single ScanNode out of a plan.
+func scanOf(t *testing.T, n Node) *ScanNode {
+	t.Helper()
+	var found *ScanNode
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*ScanNode); ok {
+			found = s
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	if found == nil {
+		t.Fatalf("no scan in plan:\n%s", Explain(n))
+	}
+	return found
+}
+
+func planQuery(t *testing.T, query string) Node {
+	t.Helper()
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := Plan(sel, limitTestCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func TestPushLimitsReachesScan(t *testing.T) {
+	cases := []struct {
+		query string
+		want  int64 // expected ScanNode.Limit (0 = no hint)
+	}{
+		// Plain limit, through the projection.
+		{"SELECT name FROM country LIMIT 3", 3},
+		// Offset rows are consumed too.
+		{"SELECT name FROM country LIMIT 3 OFFSET 2", 5},
+		// The scan's own pushed filter does not block the hint: the limit
+		// counts rows that survive the re-applied filter.
+		{"SELECT name FROM country WHERE population > 5 LIMIT 4", 4},
+		// Blocking or row-count-changing operators stop the hint.
+		{"SELECT name FROM country ORDER BY name LIMIT 3", 0},
+		{"SELECT DISTINCT capital FROM country LIMIT 3", 0},
+		{"SELECT COUNT(*) FROM country LIMIT 3", 0},
+		// LIMIT 0 never pulls a row; no hint is useful.
+		{"SELECT name FROM country LIMIT 0", 0},
+		// No limit at all.
+		{"SELECT name FROM country", 0},
+	}
+	for _, c := range cases {
+		scan := scanOf(t, planQuery(t, c.query))
+		if scan.Limit != c.want {
+			t.Errorf("%s: scan limit %d, want %d", c.query, scan.Limit, c.want)
+		}
+	}
+}
+
+func TestPushLimitsDisabledByOptions(t *testing.T) {
+	sel, err := sql.ParseSelect("SELECT name FROM country LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := PlanOpts(sel, limitTestCatalog(), Options{LimitPushdown: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan := scanOf(t, node); scan.Limit != 0 {
+		t.Fatalf("limit pushed despite disabled option: %d", scan.Limit)
+	}
+}
+
+func TestExplainShowsLimitHint(t *testing.T) {
+	out := Explain(planQuery(t, "SELECT name FROM country LIMIT 7"))
+	if !strings.Contains(out, "[limit: 7]") {
+		t.Fatalf("EXPLAIN missing limit annotation:\n%s", out)
+	}
+}
+
+func TestPrefetchWindow(t *testing.T) {
+	cases := []struct {
+		par, cols, votes, batch int
+		limit                   int64
+		want                    int
+	}{
+		// Lane fill: ceil(parallelism / (cols*votes)) keys.
+		{8, 2, 3, 1, 0, 2},
+		{8, 1, 1, 1, 0, 8},
+		{1, 2, 3, 1, 0, 1},
+		// The limit caps the window.
+		{8, 1, 1, 1, 3, 3},
+		{8, 1, 1, 1, 1, 1},
+		// Batch alignment rounds up, keeping prompt groups identical to
+		// the unwindowed scan.
+		{8, 1, 1, 4, 3, 4},
+		{8, 2, 3, 4, 0, 4},
+		// Degenerate inputs clamp.
+		{0, 0, 0, 0, 0, 1},
+	}
+	for _, c := range cases {
+		got := PrefetchWindow(c.par, c.cols, c.votes, c.batch, c.limit)
+		if got != c.want {
+			t.Errorf("PrefetchWindow(%d,%d,%d,%d,%d) = %d, want %d",
+				c.par, c.cols, c.votes, c.batch, c.limit, got, c.want)
+		}
+	}
+	// A window is always a positive multiple of the batch size.
+	for par := 1; par <= 16; par *= 2 {
+		for batch := 1; batch <= 8; batch++ {
+			for _, limit := range []int64{0, 1, 5, 100} {
+				w := PrefetchWindow(par, 2, 3, batch, limit)
+				if w < 1 || w%batch != 0 {
+					t.Fatalf("window %d not a positive multiple of batch %d", w, batch)
+				}
+			}
+		}
+	}
+}
+
+func TestKeyThenAttrLimitAwarePricing(t *testing.T) {
+	m := testCostModel()
+	unlimited := m.KeyThenAttr()
+	m.Limit = 2
+	limited := m.KeyThenAttr()
+	if limited.Prompts >= unlimited.Prompts {
+		t.Fatalf("limit did not shrink prompts: %d vs %d", limited.Prompts, unlimited.Prompts)
+	}
+	if limited.Dollars >= unlimited.Dollars {
+		t.Fatalf("limit did not shrink dollars: %g vs %g", limited.Dollars, unlimited.Dollars)
+	}
+	// The decision carries the limit and the expected attribute fan-out.
+	d := m.Decide()
+	if d.Limit != 2 {
+		t.Fatalf("decision limit: %d", d.Limit)
+	}
+	if d.EstKeysAttributed <= 0 || d.EstKeysAttributed >= m.Rows {
+		t.Fatalf("est keys attributed: %d (rows %d)", d.EstKeysAttributed, m.Rows)
+	}
+	if s := d.String(); !strings.Contains(s, "limit=2") || !strings.Contains(s, "est-attr=") {
+		t.Fatalf("decision string missing limit annotations: %s", s)
+	}
+}
+
+func TestSelectivityScalesEstimates(t *testing.T) {
+	m := testCostModel()
+	full := m.KeyThenAttr()
+	m.Selectivity = 0.1
+	filtered := m.KeyThenAttr()
+	if filtered.Tokens() >= full.Tokens() {
+		t.Fatalf("selectivity did not shrink key-then-attr tokens: %d vs %d", filtered.Tokens(), full.Tokens())
+	}
+	if m.FullTable().Tokens() >= testCostModel().FullTable().Tokens() {
+		t.Fatal("selectivity did not shrink full-table tokens")
+	}
+	if m.Paged().Tokens() >= testCostModel().Paged().Tokens() {
+		t.Fatal("selectivity did not shrink paged tokens")
+	}
+}

@@ -34,6 +34,14 @@ type ScanNode struct {
 	// Needed marks which columns the rest of the plan consumes; nil means
 	// all.
 	Needed []bool
+	// Limit, when positive, is an advisory row cap pushed down from an
+	// enclosing LimitNode through prefix-safe operators: the plan consumes
+	// at most this many of the scan's output rows. Sources may use it to
+	// stop retrieving early (the LLM source bounds its attribute fan-out);
+	// the executor's LimitNode still enforces the real limit, so a source
+	// that ignores or violates the hint cannot change results. 0 means no
+	// hint.
+	Limit int64
 	// Decision, when non-nil, is the scan-cost decision the source reported
 	// for this table (virtual tables only): the chosen prompt decomposition
 	// and its per-strategy cost breakdown, surfaced by EXPLAIN.

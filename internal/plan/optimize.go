@@ -6,14 +6,34 @@ import (
 	"llmsql/internal/sql"
 )
 
+// Options tunes the optimizer rule pipeline.
+type Options struct {
+	// LimitPushdown enables the advisory LIMIT hint on scans (see
+	// pushLimits). The hint never changes results — sources treat it as
+	// permission to stop early, and the executor's LimitNode still
+	// enforces the real limit — so disabling it only serves ablation and
+	// debugging.
+	LimitPushdown bool
+}
+
+// DefaultOptions enables every rule.
+func DefaultOptions() Options { return Options{LimitPushdown: true} }
+
 // Optimize applies the rule pipeline: constant folding in filters, predicate
 // pushdown (into join sides and scans, turning cross joins with equality
-// predicates into hash joins), join-key extraction, and projection pruning.
-func Optimize(n Node) Node {
+// predicates into hash joins), join-key extraction, projection pruning, and
+// limit-hint pushdown.
+func Optimize(n Node) Node { return OptimizeOpts(n, DefaultOptions()) }
+
+// OptimizeOpts is Optimize with explicit rule options.
+func OptimizeOpts(n Node, opts Options) Node {
 	n = foldFilters(n)
 	n = pushdown(n)
 	n = extractJoinKeys(n)
 	pruneColumns(n, nil)
+	if opts.LimitPushdown {
+		pushLimits(n)
+	}
 	return n
 }
 
@@ -214,6 +234,44 @@ func pushOne(n Node, c sql.Expr) bool {
 func compilesOver(e sql.Expr, schema rel.Schema) bool {
 	_, err := expr.Compile(e, schema)
 	return err == nil
+}
+
+// ---- limit-hint pushdown ----
+
+// pushLimits walks the tree and, for every LimitNode with a finite limit,
+// sinks an advisory row cap of Limit+Offset toward its scan.
+func pushLimits(n Node) {
+	if l, ok := n.(*LimitNode); ok && l.Limit >= 0 {
+		pushLimitHint(l.Child, l.Limit+l.Offset)
+	}
+	for _, c := range n.Children() {
+		pushLimits(c)
+	}
+}
+
+// pushLimitHint sinks an advisory row cap through operators that emit
+// exactly one output row per input row in input order (currently only
+// projections), stopping at anything that filters, reorders, blocks or
+// multiplies rows. A scan keeps the tightest hint it is offered.
+//
+// Note that a scan's own pushed-down Filter does NOT block the hint: the
+// executor re-applies that filter on the scan's output, so the rows the
+// hint counts are the post-filter rows, and a source honouring the hint
+// must keep producing until k rows *survive its filter* (the streaming LLM
+// scan does exactly that, demand-driven).
+func pushLimitHint(n Node, k int64) {
+	if k <= 0 {
+		// LIMIT 0 never pulls a row; there is nothing useful to hint.
+		return
+	}
+	switch x := n.(type) {
+	case *ScanNode:
+		if x.Limit == 0 || k < x.Limit {
+			x.Limit = k
+		}
+	case *ProjectNode:
+		pushLimitHint(x.Child, k)
+	}
 }
 
 // ---- join key extraction ----

@@ -17,15 +17,21 @@ type Catalog interface {
 }
 
 // Plan builds an optimized logical plan for a SELECT statement. After
-// optimization (so needed-column masks are final) every scan the catalog
-// can price is annotated with its cost-based strategy decision.
+// optimization (so needed-column masks and limit hints are final) every
+// scan the catalog can price is annotated with its cost-based strategy
+// decision.
 func Plan(sel *sql.SelectStmt, cat Catalog) (Node, error) {
+	return PlanOpts(sel, cat, DefaultOptions())
+}
+
+// PlanOpts is Plan with explicit optimizer options.
+func PlanOpts(sel *sql.SelectStmt, cat Catalog, opts Options) (Node, error) {
 	p := &planner{cat: cat}
 	node, err := p.planSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	node = Optimize(node)
+	node = OptimizeOpts(node, opts)
 	annotateScans(node, cat)
 	return node, nil
 }
