@@ -38,7 +38,7 @@ baseline:
 bench-check:
 	$(GO) run ./cmd/llmsql-bench -json > $(BENCH_CURRENT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current $(BENCH_CURRENT) \
-		-require "Table 9,Table 10,Table 11,Figure 8"
+		-require "Table 9,Table 10,Table 11,Table 12,Figure 8"
 
 ## fuzz: 30s smoke of each native fuzz target (same as the CI fuzz job)
 fuzz:

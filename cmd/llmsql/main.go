@@ -45,6 +45,7 @@ func main() {
 		cacheCap  = flag.Int("cache", 0, "completion-cache capacity in entries (0 = off, negative = default)")
 		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts and gate key-then-attr keys on key-only predicates")
 		limitPush = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early (identical rows, fewer prompts)")
+		bindJoin  = flag.Bool("bind-join", true, "let joins pass the outer side's distinct keys into the inner key-then-attr scan (identical rows, fewer prompts)")
 		tolerant  = flag.Bool("tolerant", true, "use the repairing completion parser")
 		score     = flag.Bool("score", false, "score results against the ground truth")
 		explain   = flag.Bool("explain", false, "print the plan instead of executing")
@@ -74,6 +75,7 @@ func main() {
 	cfg.CacheCapacity = *cacheCap
 	cfg.Pushdown = *pushdown
 	cfg.LimitPushdown = *limitPush
+	cfg.BindJoin = *bindJoin
 	cfg.Tolerant = *tolerant
 	cfg.Strategy, err = strategyByName(*strategy)
 	if err != nil {
@@ -140,6 +142,9 @@ func main() {
 			}
 			if s.KeysGated > 0 || s.KeysAttributed > 0 {
 				fmt.Printf(", %d keys gated, %d attributed", s.KeysGated, s.KeysAttributed)
+			}
+			if s.KeysBound > 0 {
+				fmt.Printf(", %d keys bound", s.KeysBound)
 			}
 			if s.CacheHits+s.CacheMisses > 0 {
 				fmt.Printf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)

@@ -274,6 +274,7 @@ func RunAll(o Options) ([]Report, error) {
 		Table9Parallelism,
 		Table10Batching,
 		Table11LimitPushdown,
+		Table12BindJoins,
 		Figure4Convergence,
 		Figure5ModelQuality,
 		Figure6Popularity,

@@ -86,6 +86,21 @@ type Config struct {
 	// over-fetch at most one prefetch window, never under-fetch. Disabling
 	// it restores the fully materializing scan (ablation/debugging).
 	LimitPushdown bool
+	// BindJoin lets joins pass sideways information into scans: the join
+	// planner drains the cheaper join side first and pushes its distinct
+	// join-key values into the other side's key-then-attr scan, which then
+	// restricts the attribute fan-out (the dominant cost, attrCols x votes
+	// prompts per key) to the batch groups containing bound keys. Key
+	// enumeration still runs with the identical prompt — it is the
+	// membership oracle that keeps bound results byte-identical to the
+	// full scan, and it costs only O(rounds) calls — and the bind gate
+	// drops whole batch groups (attributing up to BatchSize-1 rider keys
+	// per kept group, masked from emission) so every issued prompt is one
+	// the unbound scan would issue. Result rows are therefore
+	// byte-identical to the hash-join plan at any Parallelism/BatchSize.
+	// Applies when the bound scan's effective strategy is key-then-attr;
+	// disabling restores the full build-side scan (ablation/debugging).
+	BindJoin bool
 	// Tolerant enables the repairing completion parser; when false only
 	// perfectly formatted rows are accepted (ablation).
 	Tolerant bool
@@ -134,6 +149,7 @@ func DefaultConfig() Config {
 		PageSize:            40,
 		Pushdown:            true,
 		LimitPushdown:       true,
+		BindJoin:            true,
 		Tolerant:            true,
 		Dedup:               true,
 		MaxCompletionTokens: 0,

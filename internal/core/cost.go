@@ -185,6 +185,45 @@ func (s *LLMStore) ScanDecision(table string, needed []bool, filter sql.Expr, li
 	return s.decide(t, neededColumns(t.Schema, needed), filter, limit), true
 }
 
+// BindScanCost implements plan.BindAdvisor: it prices the bound
+// key-then-attr scan a bind join would issue against this table, with the
+// attribute fan-out restricted to boundKeys outer join-key values. Binding
+// only applies when the scan's effective strategy is key-then-attr — with
+// any other (forced or auto-chosen) decomposition the bound scan could not
+// stay byte-identical to the unbound one — so ok is false otherwise, and
+// the join planner falls back to hash.
+func (s *LLMStore) BindScanCost(table string, needed []bool, filter sql.Expr, boundKeys int) (plan.StrategyCost, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[strings.ToLower(table)]
+	if !ok || !s.cfg.BindJoin {
+		return plan.StrategyCost{}, false
+	}
+	if !s.cfg.Pushdown {
+		filter = nil
+	} else {
+		filter = stripQualifiers(filter)
+	}
+	cols := neededColumns(t.Schema, needed)
+	if s.cfg.Strategy != StrategyKeyThenAttr &&
+		(s.cfg.Strategy != StrategyAuto || s.decide(t, cols, filter, 0).Chosen != "key-then-attr") {
+		return plan.StrategyCost{}, false
+	}
+	return s.scanCostModel(t, cols, filter, 0).BindScan(boundKeys), true
+}
+
+// EstimateRows implements plan.Cardinalities with the same estimate the
+// scan planner prices from (registration metadata refined by prior scans).
+func (s *LLMStore) EstimateRows(table string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[strings.ToLower(table)]
+	if !ok {
+		return 0, false
+	}
+	return s.cardinalityEstimate(t), true
+}
+
 // strategyByName maps a decision back to the executable strategy.
 func strategyByName(name string) Strategy {
 	switch name {

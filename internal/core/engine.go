@@ -248,11 +248,12 @@ func (e *Engine) Explain(query string) (string, error) {
 // TotalUsage returns the model consumption since engine creation.
 func (e *Engine) TotalUsage() llm.Usage { return e.model.Usage() }
 
-// planOptions maps the engine configuration onto optimizer rule options
-// (currently just the advisory LIMIT hint on scans).
+// planOptions maps the engine configuration onto optimizer rule options:
+// the advisory LIMIT hint on scans and the bind-join strategy.
 func (e *Engine) planOptions() plan.Options {
 	opts := plan.DefaultOptions()
 	opts.LimitPushdown = e.store.Config().LimitPushdown
+	opts.BindJoin = e.store.Config().BindJoin
 	return opts
 }
 

@@ -46,6 +46,10 @@ type ScanStats struct {
 	// phase. With a pushed limit this stops at the last demand-driven
 	// prefetch window; without one it equals the surviving key count.
 	KeysAttributed int
+	// KeysBound counts the distinct join-key values a bind join pushed
+	// into this scan (0 when the scan was unbound). Enumerated keys
+	// outside the bound set skip the attribute phase entirely.
+	KeysBound int
 	// Duplicates removed by entity-key dedup.
 	Duplicates int
 	// LowConfidenceDropped counts entities removed by the MinConfidence
@@ -178,6 +182,15 @@ func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 	if auto {
 		strategy = strategyByName(s.decide(t, cols, filter, limit).Chosen)
 	}
+	// Bind-join key binding applies only to the key-then-attr pipeline —
+	// any other decomposition could not honour it without changing its
+	// prompts, and therefore its rows, relative to the unbound scan. The
+	// strategy resolution above never sees the binding, so the bound scan
+	// runs exactly the strategy the hash-join plan's scan would.
+	var bound []string
+	if req.Keys != nil && s.cfg.BindJoin && strategy == StrategyKeyThenAttr {
+		bound = canonicalBoundKeys(req.Keys)
+	}
 	s.mu.Unlock()
 
 	scan := &llmScan{
@@ -188,7 +201,17 @@ func (s *LLMStore) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 		strategy: strategy,
 		filter:   filter,
 		limit:    limit,
+		bound:    bound,
 		stats:    ScanStats{Table: t.Name, Strategy: strategy, Auto: auto},
+	}
+	if bound != nil {
+		scan.stats.KeysBound = len(bound)
+		// Bound to nothing: no key can match, so no prompt can pay off.
+		if len(bound) == 0 {
+			return &scanIter{scan: scan, next: func() (rel.Row, bool, error) {
+				return nil, false, nil
+			}}, nil
+		}
 	}
 
 	var stream func() (rel.Row, bool, error)
@@ -266,8 +289,12 @@ type llmScan struct {
 	strategy Strategy // effective strategy (auto already resolved)
 	filter   sql.Expr
 	limit    int64 // advisory row cap (0 = none; already gated on config)
-	stats    ScanStats
-	wall     time.Duration // simulated critical-path latency of this scan
+	// bound, when non-nil, is the canonicalized distinct join-key set a
+	// bind join passed in: only enumerated keys in this set reach the
+	// attribute phase (key-then-attr only; already gated on config).
+	bound []string
+	stats ScanStats
+	wall  time.Duration // simulated critical-path latency of this scan
 }
 
 func (sc *llmScan) cfg() Config { return sc.store.cfg }
@@ -546,6 +573,16 @@ func (sc *llmScan) startKeyThenAttr() (func() (rel.Row, bool, error), error) {
 	// rows dropped by the executor's re-check anyway — spending attribute
 	// prompts on them buys nothing.
 	keyRows = sc.gateKeys(keyRows, keyFilter)
+	// The bind gate: a bind join bound this scan to the outer side's
+	// distinct join keys, so entities outside that set could never survive
+	// the join — their attribute fan-out is skipped. The enumeration above
+	// ran with the prompt of an unbound scan (it is the membership oracle
+	// that keeps bound results identical to the full scan), and the gate
+	// drops whole batch groups so every surviving (batched) ATTR prompt
+	// and vote seed is byte-identical to the unbound scan's; emit masks
+	// the rider keys that were attributed only to preserve their group's
+	// prompt.
+	keyRows, emit := sc.bindGate(keyRows)
 
 	attrCols := make([]int, 0, len(sc.cols))
 	for _, c := range sc.cols {
@@ -571,6 +608,7 @@ func (sc *llmScan) startKeyThenAttr() (func() (rel.Row, bool, error), error) {
 		sc:       sc,
 		keyRows:  keyRows,
 		keys:     keys,
+		emit:     emit,
 		attrCols: attrCols,
 		votes:    votes,
 		window:   window,
@@ -632,6 +670,81 @@ func (sc *llmScan) gateKeys(keyRows []rel.Row, keyFilter sql.Expr) []rel.Row {
 	return kept
 }
 
+// canonicalBoundKeys normalizes a bind join's key values through the same
+// whitespace canonicalization the parser applies to enumerated keys (see
+// normalizeKeyText) and removes case-insensitive duplicates, so the bind
+// gate's membership test, entity dedup and the completion cache all agree
+// on one spelling per entity. Always returns a non-nil slice.
+func canonicalBoundKeys(keys []string) []string {
+	out := make([]string, 0, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		norm := normalizeKeyText(k)
+		if norm == "" {
+			continue
+		}
+		lower := strings.ToLower(norm)
+		if seen[lower] {
+			continue
+		}
+		seen[lower] = true
+		out = append(out, norm)
+	}
+	return out
+}
+
+// bindGate keeps the enumerated keys a bind join asked for, at batch-group
+// granularity: the unbound scan chunks its key list into BatchSize groups
+// by position, and a batched ATTRS answer depends on the whole group's
+// prompt, so dropping individual keys would regroup the survivors and
+// change the prompts (and, on a real model, the answers) of keys the join
+// keeps. Instead the gate keeps every group containing at least one bound
+// key — whole, so concatenating the kept groups reproduces the original
+// grouping exactly (all groups are full-size except possibly the last,
+// which stays last) — and returns an emit mask marking the rider keys
+// that were retained only to preserve their group's prompt; their rows
+// are attributed but never emitted. At BatchSize 1 groups are single keys
+// and the gate degenerates to exact membership. Matching is
+// case-insensitive on canonicalized spellings (like entity dedup); a kept
+// row whose exact spelling differs from the outer value is still dropped
+// by the executor's equality check, so the gate can only waste — never
+// corrupt — an attribute prompt.
+func (sc *llmScan) bindGate(keyRows []rel.Row) ([]rel.Row, []bool) {
+	if sc.bound == nil || len(keyRows) == 0 {
+		return keyRows, nil
+	}
+	inBound := make(map[string]bool, len(sc.bound))
+	for _, k := range sc.bound {
+		inBound[strings.ToLower(k)] = true
+	}
+	keyPos := sc.keyPos()
+	batch := sc.cfg().BatchSize
+	var kept []rel.Row
+	var emit []bool
+	for lo := 0; lo < len(keyRows); lo += batch {
+		hi := lo + batch
+		if hi > len(keyRows) {
+			hi = len(keyRows)
+		}
+		group := keyRows[lo:hi]
+		any := false
+		for _, row := range group {
+			if inBound[entityKey(row, keyPos)] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		for _, row := range group {
+			kept = append(kept, row)
+			emit = append(emit, inBound[entityKey(row, keyPos)])
+		}
+	}
+	return kept, emit
+}
+
 // attrStream is the demand-driven attribute phase of a key-then-attr scan.
 // Keys are attributed window by window; within a window the (batched) ATTR
 // prompts fan out across the worker pool exactly as in the materialized
@@ -639,9 +752,13 @@ func (sc *llmScan) gateKeys(keyRows []rel.Row, keyFilter sql.Expr) []rel.Row {
 // merged values are independent of the window size — early termination
 // changes how far the key list gets, never what any row contains.
 type attrStream struct {
-	sc       *llmScan
-	keyRows  []rel.Row
-	keys     []string
+	sc      *llmScan
+	keyRows []rel.Row
+	keys    []string
+	// emit, when non-nil, marks which keys produce output rows: bind-gate
+	// rider keys are attributed (their group's prompt needs them) but
+	// never emitted.
+	emit     []bool
 	attrCols []int
 	votes    int
 	window   int // keys attributed per fetch
@@ -691,6 +808,9 @@ func (st *attrStream) fetchWindow() error {
 	sc.stats.KeysAttributed += len(keys)
 	keyPos := sc.keyPos()
 	for ki := lo; ki < hi; ki++ {
+		if st.emit != nil && !st.emit[ki] {
+			continue
+		}
 		row := make(rel.Row, sc.table.Schema.Len())
 		for i := range row {
 			row[i] = rel.NullOf(sc.table.Schema.Col(i).Type)

@@ -63,6 +63,11 @@ func Build(node plan.Node, src Source) (RowIter, error) {
 type builder struct {
 	src  Source
 	prof *Profile
+	// bindKeys carries the distinct join-key values a bind join wants
+	// pushed into a specific scan; buildScan consumes the entry when it
+	// reaches that node (the bound side is built after the outer side has
+	// been drained, so the keys are final by then).
+	bindKeys map[*plan.ScanNode][]string
 }
 
 // instrument wraps it so the node's emitted rows are counted when a
@@ -124,6 +129,7 @@ func (b *builder) buildScan(n *plan.ScanNode) (RowIter, error) {
 		Needed: n.Needed,
 		Filter: n.Filter,
 		Limit:  n.Limit,
+		Keys:   b.bindKeys[n],
 	})
 	if err != nil {
 		return nil, err

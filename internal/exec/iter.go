@@ -38,6 +38,17 @@ type ScanRequest struct {
 	// qualifying rows than they otherwise would; the executor's LimitNode
 	// enforces the real limit regardless. 0 means no hint.
 	Limit int64
+	// Keys, when non-nil, binds the scan to the given entity-key values
+	// (sideways information passing from a bind join: the distinct join
+	// keys the outer side produced). A source may use it to retrieve only
+	// those entities — the LLM source restricts its attribute fan-out to
+	// the bound keys — but must return every row it would otherwise
+	// return whose key is among them. Like every pushdown it is advisory:
+	// the bind join drops any returned row whose key was never bound, so
+	// a source that ignores or violates the hint cannot change results.
+	// An empty non-nil slice means no key can match (the scan may return
+	// nothing at all).
+	Keys []string
 }
 
 // Source provides table access for scans.

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"llmsql/internal/expr"
 	"llmsql/internal/plan"
@@ -11,6 +12,9 @@ import (
 
 func (b *builder) buildJoin(n *plan.JoinNode) (RowIter, error) {
 	if len(n.LeftKey) > 0 {
+		if n.Strategy == plan.JoinBind && n.BindScan != nil {
+			return b.buildBindJoin(n)
+		}
 		return b.buildHashJoin(n)
 	}
 	switch n.Kind {
@@ -51,7 +55,17 @@ func evalKey(evals []*expr.Compiled, row rel.Row) (string, bool, error) {
 	return vals.AllKey(), true, nil
 }
 
-func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
+// hashJoin carries the compiled state shared by the hash and bind join
+// strategies.
+type hashJoin struct {
+	kind       plan.JoinKind
+	leftEvals  []*expr.Compiled
+	rightEvals []*expr.Compiled
+	residual   func(rel.Row) (rel.Tristate, error)
+	nullRight  rel.Row
+}
+
+func (b *builder) prepareHashJoin(n *plan.JoinNode) (*hashJoin, error) {
 	leftSchema := n.Left.Schema()
 	rightSchema := n.Right.Schema()
 
@@ -72,48 +86,50 @@ func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
 		}
 	}
 
-	// Build phase: materialize and hash the right input.
-	rightIter, err := b.build(n.Right)
-	if err != nil {
-		return nil, err
-	}
-	rightRows, err := Drain(rightIter)
-	if err != nil {
-		return nil, err
-	}
-	table := make(map[string][]rel.Row)
-	rightHasNull := false
-	for _, row := range rightRows {
-		key, ok, err := evalKey(rightEvals, row)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			rightHasNull = true
-			continue
-		}
-		table[key] = append(table[key], row)
-	}
-
-	leftIter, err := b.build(n.Left)
-	if err != nil {
-		return nil, err
-	}
-
 	nullRight := make(rel.Row, rightSchema.Len())
 	for i := range nullRight {
 		nullRight[i] = rel.NullOf(rightSchema.Col(i).Type)
 	}
+	return &hashJoin{
+		kind:       n.Kind,
+		leftEvals:  leftEvals,
+		rightEvals: rightEvals,
+		residual:   residual,
+		nullRight:  nullRight,
+	}, nil
+}
 
-	// Probe state for streaming multiple matches per left row.
+// hashRows builds the hash table over rows keyed by evals, reporting
+// whether any row had a NULL key.
+func hashRows(rows []rel.Row, evals []*expr.Compiled) (map[string][]rel.Row, bool, error) {
+	table := make(map[string][]rel.Row)
+	hasNull := false
+	for _, row := range rows {
+		key, ok, err := evalKey(evals, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			hasNull = true
+			continue
+		}
+		table[key] = append(table[key], row)
+	}
+	return table, hasNull, nil
+}
+
+// probeLeft streams left rows against the materialized right side: the
+// classic probe phase, emitting left-major output. rightEmpty and
+// rightHasNull carry the anti join's NOT IN determinations.
+func (h *hashJoin) probeLeft(leftIter RowIter, table map[string][]rel.Row, rightEmpty, rightHasNull bool) RowIter {
 	var pending []rel.Row
 
 	emitMatches := func(left rel.Row, matches []rel.Row) ([]rel.Row, error) {
 		var out []rel.Row
 		for _, right := range matches {
 			joined := left.Concat(right)
-			if residual != nil {
-				ts, err := residual(joined)
+			if h.residual != nil {
+				ts, err := h.residual(joined)
 				if err != nil {
 					return nil, err
 				}
@@ -138,12 +154,12 @@ func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
 				if err != nil || !ok {
 					return nil, false, err
 				}
-				key, keyOK, err := evalKey(leftEvals, left)
+				key, keyOK, err := evalKey(h.leftEvals, left)
 				if err != nil {
 					return nil, false, err
 				}
 
-				switch n.Kind {
+				switch h.kind {
 				case plan.KindSemi:
 					if keyOK && len(table[key]) > 0 {
 						return left, true, nil
@@ -152,7 +168,7 @@ func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
 				case plan.KindAnti:
 					// NOT IN semantics: an empty right side passes every
 					// row; otherwise NULL on either side suppresses.
-					if len(rightRows) == 0 {
+					if rightEmpty {
 						return left, true, nil
 					}
 					if rightHasNull || !keyOK {
@@ -171,7 +187,7 @@ func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
 						}
 					}
 					if len(matches) == 0 {
-						return left.Concat(nullRight), true, nil
+						return left.Concat(h.nullRight), true, nil
 					}
 					pending = matches
 
@@ -188,7 +204,229 @@ func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
 			}
 		},
 		close: leftIter.Close,
-	}, nil
+	}
+}
+
+// probeRight streams right rows against a materialized left side (inner
+// joins built on the left): output is right-major, each match emitted as
+// left ++ right.
+func (h *hashJoin) probeRight(rightIter RowIter, table map[string][]rel.Row) RowIter {
+	var pending []rel.Row
+	return &funcIter{
+		next: func() (rel.Row, bool, error) {
+			for {
+				if len(pending) > 0 {
+					row := pending[0]
+					pending = pending[1:]
+					return row, true, nil
+				}
+				right, ok, err := rightIter.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				key, keyOK, err := evalKey(h.rightEvals, right)
+				if err != nil || !keyOK {
+					if err != nil {
+						return nil, false, err
+					}
+					continue
+				}
+				for _, left := range table[key] {
+					joined := left.Concat(right)
+					if h.residual != nil {
+						ts, err := h.residual(joined)
+						if err != nil {
+							return nil, false, err
+						}
+						if ts != rel.True {
+							continue
+						}
+					}
+					pending = append(pending, joined)
+				}
+			}
+		},
+		close: rightIter.Close,
+	}
+}
+
+func (b *builder) buildHashJoin(n *plan.JoinNode) (RowIter, error) {
+	h, err := b.prepareHashJoin(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build phase: materialize and hash the build side — the right input
+	// by default, the left when the join planner judged it smaller
+	// (inner joins only; output order follows the probe side).
+	if n.BuildLeft && n.Kind == plan.KindInner {
+		leftIter, err := b.build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		leftRows, err := Drain(leftIter)
+		if err != nil {
+			return nil, err
+		}
+		table, _, err := hashRows(leftRows, h.leftEvals)
+		if err != nil {
+			return nil, err
+		}
+		rightIter, err := b.build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return h.probeRight(rightIter, table), nil
+	}
+
+	rightIter, err := b.build(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := Drain(rightIter)
+	if err != nil {
+		return nil, err
+	}
+	table, rightHasNull, err := hashRows(rightRows, h.rightEvals)
+	if err != nil {
+		return nil, err
+	}
+
+	leftIter, err := b.build(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	return h.probeLeft(leftIter, table, len(rightRows) == 0, rightHasNull), nil
+}
+
+// buildBindJoin executes the sideways-information-passing strategy: drain
+// the non-bound (outer) side first, collect its distinct join-key values,
+// and build the bound side with those keys pushed into its scan
+// (ScanRequest.Keys). The bound side's rows are then filtered to the bound
+// key set — sources are untrusted, so rows for keys that were never bound
+// are dropped here — and, since both sides are now materialized, the probe
+// runs in exactly the orientation the hash join would use (BuildLeft), so
+// the output is byte-identical to the unbound plan, ordering included.
+func (b *builder) buildBindJoin(n *plan.JoinNode) (RowIter, error) {
+	h, err := b.prepareHashJoin(n)
+	if err != nil {
+		return nil, err
+	}
+
+	outerNode, boundNode := n.Left, n.Right
+	outerEval, boundEval := h.leftEvals[0], h.rightEvals[0]
+	if n.BindLeft {
+		outerNode, boundNode = n.Right, n.Left
+		outerEval, boundEval = h.rightEvals[0], h.leftEvals[0]
+	}
+
+	outerIter, err := b.build(outerNode)
+	if err != nil {
+		return nil, err
+	}
+	outerRows, err := Drain(outerIter)
+	if err != nil {
+		return nil, err
+	}
+	keys, outerHasNull, err := distinctKeyTexts(outerRows, outerEval)
+	if err != nil {
+		return nil, err
+	}
+
+	// Anti joins with NULL outer keys depend on whether the FULL right
+	// side is empty (an empty NOT IN list passes every row, a non-empty
+	// one suppresses NULL-keyed ones) — a bound scan cannot reveal that,
+	// so fall back to the unbound build for exactly that case.
+	bind := !(n.Kind == plan.KindAnti && outerHasNull)
+
+	if bind {
+		if b.bindKeys == nil {
+			b.bindKeys = make(map[*plan.ScanNode][]string)
+		}
+		b.bindKeys[n.BindScan] = keys
+	}
+	boundIter, err := b.build(boundNode)
+	if bind {
+		delete(b.bindKeys, n.BindScan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	boundRows, err := Drain(boundIter)
+	if err != nil {
+		return nil, err
+	}
+	if bind {
+		boundRows, err = filterBoundRows(boundRows, boundEval, keys)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	leftRows, rightRows := outerRows, boundRows
+	if n.BindLeft {
+		leftRows, rightRows = boundRows, outerRows
+	}
+	if n.BuildLeft && n.Kind == plan.KindInner {
+		table, _, err := hashRows(leftRows, h.leftEvals)
+		if err != nil {
+			return nil, err
+		}
+		return h.probeRight(newSliceIter(rightRows), table), nil
+	}
+	table, rightHasNull, err := hashRows(rightRows, h.rightEvals)
+	if err != nil {
+		return nil, err
+	}
+	return h.probeLeft(newSliceIter(leftRows), table, len(rightRows) == 0, rightHasNull), nil
+}
+
+// distinctKeyTexts collects the sorted distinct textual join-key values of
+// the outer rows (NULL keys are reported, never bound).
+func distinctKeyTexts(rows []rel.Row, eval *expr.Compiled) ([]string, bool, error) {
+	seen := make(map[string]bool)
+	hasNull := false
+	for _, row := range rows {
+		v, err := eval.Eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			hasNull = true
+			continue
+		}
+		seen[v.AsText()] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, hasNull, nil
+}
+
+// filterBoundRows drops bound-side rows whose join key is NULL or not among
+// the bound keys: the source was asked for exactly these keys, and a row
+// outside the set could never match the outer side — but it could corrupt
+// the anti join's emptiness/NULL determinations, so the executor enforces
+// the contract rather than trusting it.
+func filterBoundRows(rows []rel.Row, eval *expr.Compiled, keys []string) ([]rel.Row, error) {
+	bound := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		bound[k] = true
+	}
+	kept := rows[:0]
+	for _, row := range rows {
+		v, err := eval.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() || !bound[v.AsText()] {
+			continue
+		}
+		kept = append(kept, row)
+	}
+	return kept, nil
 }
 
 func (b *builder) buildNestedLoopJoin(n *plan.JoinNode) (RowIter, error) {

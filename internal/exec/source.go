@@ -67,3 +67,13 @@ func (c *StorageCatalog) TableSchema(name string) (rel.Schema, error) {
 	}
 	return tbl.Schema(), nil
 }
+
+// EstimateRows implements plan.Cardinalities with the exact row count —
+// the one estimate a row store can always give for free.
+func (c *StorageCatalog) EstimateRows(name string) (int, bool) {
+	tbl, err := c.DB.Table(name)
+	if err != nil {
+		return 0, false
+	}
+	return tbl.RowCount(), true
+}

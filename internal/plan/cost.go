@@ -361,6 +361,36 @@ func (m ScanCostModel) Paged() StrategyCost {
 // savings come from.
 func (m ScanCostModel) KeyThenAttr() StrategyCost {
 	m = m.normalized()
+	return m.keyThenAttrKeys("key-then-attr", m.attrKeys())
+}
+
+// BindScan prices the bound key-then-attr scan a bind join issues: the
+// enumeration phase is unchanged (it stays the membership oracle that keeps
+// bound results byte-identical to the full scan), but only enumerated keys
+// among the boundKeys outer join-key values reach the attribute fan-out —
+// the dominant cost term, attrCols x votes prompts per key. The bind gate
+// keeps whole batch groups (batched prompts must stay identical to the
+// unbound scan's), so worst-case scatter touches one full group per bound
+// key: price min(boundKeys, groups) groups.
+func (m ScanCostModel) BindScan(boundKeys int) StrategyCost {
+	m = m.normalized()
+	if boundKeys < 0 {
+		boundKeys = 0
+	}
+	keys := m.attrKeys()
+	groups := (keys + m.BatchSize - 1) / m.BatchSize
+	if boundKeys < groups {
+		groups = boundKeys
+	}
+	if bound := groups * m.BatchSize; bound < keys {
+		keys = bound
+	}
+	return m.keyThenAttrKeys("bind", keys)
+}
+
+// keyThenAttrKeys assembles the key-then-attr cost shape for an attribute
+// phase over exactly attrKeys keys.
+func (m ScanCostModel) keyThenAttrKeys(name string, attrKeys int) StrategyCost {
 	keysPrompt := m.KeysPromptTokens
 	keysCompl := m.effRows() * m.KeyTokens
 	wall := m.fanOutWall(m.Rounds, m.Cost.Latency(keysPrompt, keysCompl))
@@ -368,7 +398,7 @@ func (m ScanCostModel) KeyThenAttr() StrategyCost {
 	complTok := m.Rounds * keysCompl
 
 	// Only keys the limit leaves in demand reach the attribute phase.
-	batches := (m.attrKeys() + m.BatchSize - 1) / m.BatchSize
+	batches := (attrKeys + m.BatchSize - 1) / m.BatchSize
 	attrPrompts := batches * m.AttrCols * m.Votes
 	// A batched prompt lists its keys; a batched answer echoes each key
 	// next to its value. BatchSize 1 degrades to the single-key shape.
@@ -381,7 +411,7 @@ func (m ScanCostModel) KeyThenAttr() StrategyCost {
 	complTok += attrPrompts * perCompl
 	wall += m.fanOutWall(attrPrompts, m.Cost.Latency(perPrompt, perCompl))
 
-	return m.price("key-then-attr", m.Rounds+attrPrompts, promptTok, complTok, wall)
+	return m.price(name, m.Rounds+attrPrompts, promptTok, complTok, wall)
 }
 
 // Candidates prices every strategy in display order.

@@ -62,12 +62,33 @@ func explain(b *strings.Builder, n Node, depth int) {
 			for i := range x.LeftKey {
 				keys = append(keys, fmt.Sprintf("%s = %s", sql.Deparse(x.LeftKey[i]), sql.Deparse(x.RightKey[i])))
 			}
-			fmt.Fprintf(b, " [hash: %s]", strings.Join(keys, " AND "))
+			fmt.Fprintf(b, " [%s: %s]", x.Strategy, strings.Join(keys, " AND "))
+			if x.Strategy == JoinBind && x.BindScan != nil {
+				boundFrom := "left"
+				if x.BindLeft {
+					boundFrom = "right"
+				}
+				k := 0
+				if x.Decision != nil {
+					k = x.Decision.EstBoundKeys
+				}
+				fmt.Fprintf(b, " [bind: ~%d keys from %s → %s]", k, boundFrom, x.BindScan.Table)
+			}
+			if x.Kind == KindInner {
+				side := "right"
+				if x.BuildLeft {
+					side = "left"
+				}
+				fmt.Fprintf(b, " [build: %s]", side)
+			}
 		}
 		if x.Residual != nil {
 			fmt.Fprintf(b, " [residual: %s]", sql.Deparse(x.Residual))
 		} else if x.On != nil && len(x.LeftKey) == 0 {
 			fmt.Fprintf(b, " [on: %s]", sql.Deparse(x.On))
+		}
+		if x.Decision != nil {
+			fmt.Fprintf(b, " [%s]", x.Decision)
 		}
 		b.WriteByte('\n')
 		explain(b, x.Left, depth+1)

@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"llmsql/internal/rel"
+	"llmsql/internal/sql"
+)
+
+// joinTestCatalog is a synthetic catalog with per-table cardinalities,
+// scan pricing ($1 per 10 estimated rows) and bind pricing ($1 per 10
+// bound keys, capped at the table size) — enough structure for the join
+// planner's decisions to be inspectable.
+type joinTestCatalog struct {
+	schemas  map[string]rel.Schema
+	rows     map[string]int
+	bindable map[string]bool
+}
+
+func (c *joinTestCatalog) TableSchema(name string) (rel.Schema, error) {
+	return MapCatalog(c.schemas).TableSchema(name)
+}
+
+func (c *joinTestCatalog) EstimateRows(name string) (int, bool) {
+	n, ok := c.rows[strings.ToLower(name)]
+	return n, ok
+}
+
+func (c *joinTestCatalog) priced(name string, rows int) StrategyCost {
+	return StrategyCost{Strategy: name, Prompts: rows, Dollars: float64(rows) / 10, Wall: time.Duration(rows) * time.Millisecond}
+}
+
+func (c *joinTestCatalog) ScanDecision(table string, needed []bool, filter sql.Expr, limit int64) (ScanDecision, bool) {
+	rows, ok := c.rows[strings.ToLower(table)]
+	if !ok || !c.bindable[strings.ToLower(table)] {
+		return ScanDecision{}, false
+	}
+	return ScanDecision{
+		Auto:              true,
+		Chosen:            "key-then-attr",
+		EstRows:           rows,
+		EstKeysAttributed: rows,
+		Candidates:        []StrategyCost{c.priced("key-then-attr", rows)},
+	}, true
+}
+
+func (c *joinTestCatalog) BindScanCost(table string, needed []bool, filter sql.Expr, boundKeys int) (StrategyCost, bool) {
+	rows, ok := c.rows[strings.ToLower(table)]
+	if !ok || !c.bindable[strings.ToLower(table)] {
+		return StrategyCost{}, false
+	}
+	if boundKeys > rows {
+		boundKeys = rows
+	}
+	return c.priced("bind", boundKeys), true
+}
+
+func testJoinCatalog() *joinTestCatalog {
+	key := func(name string) rel.Schema {
+		return rel.NewSchema(
+			rel.Column{Name: "name", Type: rel.TypeText, Key: true},
+			rel.Column{Name: "val", Type: rel.TypeInt},
+			rel.Column{Name: "ref", Type: rel.TypeText},
+		)
+	}
+	return &joinTestCatalog{
+		schemas: map[string]rel.Schema{
+			"big":   key("big"),
+			"small": key("small"),
+			"localtbl": rel.NewSchema(
+				rel.Column{Name: "id", Type: rel.TypeInt},
+				rel.Column{Name: "ref", Type: rel.TypeText},
+			),
+		},
+		rows:     map[string]int{"big": 1000, "small": 10, "localtbl": 10},
+		bindable: map[string]bool{"big": true, "small": true},
+	}
+}
+
+func planJoinQuery(t *testing.T, cat Catalog, query string, opts Options) Node {
+	t.Helper()
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := PlanOpts(sel, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestBindJoinChosenWhenCheaper: a selective outer side drives the bound
+// scan of the big table; the decision records the strategy, bound table and
+// all three candidates.
+func TestBindJoinChosenWhenCheaper(t *testing.T) {
+	cat := testJoinCatalog()
+	n := planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM small s JOIN big b ON s.ref = b.name", DefaultOptions())
+	j := findJoin(n)
+	if j == nil {
+		t.Fatalf("no join in plan:\n%s", Explain(n))
+	}
+	if j.Strategy != JoinBind || j.BindScan == nil || j.BindScan.Table != "big" {
+		t.Fatalf("bind not chosen: strategy=%v scan=%v\n%s", j.Strategy, j.BindScan, Explain(n))
+	}
+	if j.BindLeft {
+		t.Fatalf("bound side must be the right (big) input")
+	}
+	// Orientation follows cardinality (small left builds), not the bound
+	// side — toggling bind must never reorder output.
+	if !j.BuildLeft {
+		t.Fatalf("build orientation must follow cardinality estimates")
+	}
+	d := j.Decision
+	if d == nil || d.Chosen != JoinBind || d.BindTable != "big" {
+		t.Fatalf("decision: %+v", d)
+	}
+	if len(d.Candidates) != 3 {
+		t.Fatalf("candidates: %+v", d.Candidates)
+	}
+	if bind, hash := d.Candidate("bind"), d.Candidate("hash"); bind.Dollars >= hash.Dollars {
+		t.Fatalf("bind (%v) not cheaper than hash (%v)", bind.Dollars, hash.Dollars)
+	}
+	for _, want := range []string{"[bind:", "→ big", "join=bind", "est-keys="} {
+		if out := Explain(n); !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBindJoinDisabledByOption: the ablation gate removes bind from
+// selection but keeps the hash decision inspectable.
+func TestBindJoinDisabledByOption(t *testing.T) {
+	cat := testJoinCatalog()
+	opts := DefaultOptions()
+	opts.BindJoin = false
+	n := planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM small s JOIN big b ON s.ref = b.name", opts)
+	j := findJoin(n)
+	if j.Strategy != JoinHash || j.BindScan != nil {
+		t.Fatalf("bind chosen despite ablation: %+v", j.Strategy)
+	}
+	if j.Decision == nil || j.Decision.Chosen != JoinHash {
+		t.Fatalf("decision: %+v", j.Decision)
+	}
+}
+
+// TestBindRequiresEntityKeyColumn: when neither side's join key is its
+// scan's entity-key column, nothing can bind (the scan enumerates entities
+// by key); when only one side's is, that side is the one bound.
+func TestBindRequiresEntityKeyColumn(t *testing.T) {
+	cat := testJoinCatalog()
+	n := planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM small s JOIN big b ON s.ref = b.ref", DefaultOptions())
+	if j := findJoin(n); j.Strategy == JoinBind {
+		t.Fatalf("bound a non-key join column:\n%s", Explain(n))
+	}
+	// s.name is small's entity key: the left side binds, driven by the
+	// right outer, even though the right side itself cannot.
+	n = planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM small s JOIN big b ON s.name = b.ref", DefaultOptions())
+	j := findJoin(n)
+	if j.Strategy != JoinBind || !j.BindLeft || j.BindScan == nil || j.BindScan.Table != "small" {
+		t.Fatalf("key side did not bind:\n%s", Explain(n))
+	}
+}
+
+// TestBindThroughSubqueryProjection: IN-subqueries plan as semi joins whose
+// right side is a projection over the scan; the binding must trace the key
+// through it.
+func TestBindThroughSubqueryProjection(t *testing.T) {
+	cat := testJoinCatalog()
+	n := planJoinQuery(t, cat,
+		"SELECT val FROM small WHERE ref IN (SELECT name FROM big)", DefaultOptions())
+	j := findJoin(n)
+	if j == nil || j.Kind != KindSemi {
+		t.Fatalf("no semi join:\n%s", Explain(n))
+	}
+	if j.Strategy != JoinBind || j.BindScan == nil || j.BindScan.Table != "big" {
+		t.Fatalf("semi join did not bind through the projection:\n%s", Explain(n))
+	}
+	// NOT IN: anti joins bind too.
+	n = planJoinQuery(t, cat,
+		"SELECT val FROM small WHERE ref NOT IN (SELECT name FROM big)", DefaultOptions())
+	j = findJoin(n)
+	if j == nil || j.Kind != KindAnti || j.Strategy != JoinBind {
+		t.Fatalf("anti join did not bind:\n%s", Explain(n))
+	}
+}
+
+// TestHashBuildSideSelection: the build side follows the cardinality
+// estimates for inner joins (ties and non-inner joins keep the right
+// side).
+func TestHashBuildSideSelection(t *testing.T) {
+	cat := testJoinCatalog()
+	cat.bindable = map[string]bool{} // force hash
+	opts := DefaultOptions()
+
+	n := planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM small s JOIN big b ON s.ref = b.name", opts)
+	if j := findJoin(n); j.Strategy != JoinHash || j.BuildLeft != true {
+		t.Fatalf("small left side not chosen as build: %+v\n%s", j, Explain(n))
+	}
+
+	n = planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM big b JOIN small s ON s.ref = b.name", opts)
+	if j := findJoin(n); j.BuildLeft {
+		t.Fatalf("big left side chosen as build:\n%s", Explain(n))
+	}
+
+	// Tie: both sides the same size — keep the historical right build.
+	cat.rows["big"] = 10
+	n = planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM small s JOIN big b ON s.ref = b.name", opts)
+	if j := findJoin(n); j.BuildLeft {
+		t.Fatalf("tie must keep the right build side:\n%s", Explain(n))
+	}
+
+	// Left joins stream the left side regardless of size.
+	cat.rows["big"] = 1000
+	n = planJoinQuery(t, cat,
+		"SELECT s.val, b.val FROM small s LEFT JOIN big b ON s.ref = b.name", opts)
+	if j := findJoin(n); j.BuildLeft {
+		t.Fatalf("left join cannot build left:\n%s", Explain(n))
+	}
+}
+
+// TestJoinDecisionOmittedForLocalJoins: joins with no priceable side keep
+// their cost-free EXPLAIN.
+func TestJoinDecisionOmittedForLocalJoins(t *testing.T) {
+	cat := testJoinCatalog()
+	cat.bindable = map[string]bool{}
+	n := planJoinQuery(t, cat,
+		"SELECT a.id, b.id FROM localtbl a JOIN localtbl b ON a.ref = b.ref", DefaultOptions())
+	j := findJoin(n)
+	if j.Decision != nil {
+		t.Fatalf("local-only join got a cost decision: %+v", j.Decision)
+	}
+	if out := Explain(n); !strings.Contains(out, "[hash:") {
+		t.Fatalf("hash annotation missing:\n%s", out)
+	}
+}

@@ -116,6 +116,39 @@ func (k JoinKind) String() string {
 	}
 }
 
+// JoinStrategy selects how an equi-join is executed. The zero value is the
+// classic hash join, so plans built without the join planner (tests,
+// hand-assembled trees) keep today's behavior.
+type JoinStrategy int
+
+const (
+	// JoinHash materializes the build side into a hash table and streams
+	// the probe side.
+	JoinHash JoinStrategy = iota
+	// JoinBind drains the probe (outer) side first, collects its distinct
+	// join-key values, and pushes them into the build side's scan as
+	// ScanRequest.Keys — sideways information passing. The build side then
+	// retrieves only entities the join can possibly keep; the executor
+	// still drops any row for a key that was never bound (sources are
+	// untrusted), so results are identical to JoinHash with the same build
+	// side.
+	JoinBind
+	// JoinNestedLoop compares every row pair (non-equi predicates).
+	JoinNestedLoop
+)
+
+// String names the strategy for EXPLAIN and reports.
+func (s JoinStrategy) String() string {
+	switch s {
+	case JoinBind:
+		return "bind"
+	case JoinNestedLoop:
+		return "nested-loop"
+	default:
+		return "hash"
+	}
+}
+
 // JoinNode combines two inputs. For semi/anti joins the output schema is the
 // left schema; otherwise it is left ++ right.
 type JoinNode struct {
@@ -130,6 +163,27 @@ type JoinNode struct {
 	RightKey []sql.Expr
 	// Residual is the non-equi remainder of On, over left++right.
 	Residual sql.Expr
+	// Strategy is the execution strategy chosen by the join planner (the
+	// zero value keeps the hash join).
+	Strategy JoinStrategy
+	// BuildLeft selects the output orientation: the left input goes into
+	// the hash table and the right input streams through it (inner joins
+	// only; left/semi/anti joins require the right side in the table).
+	// It is chosen from cardinality estimates independently of the join
+	// strategy — a bind join materializes both sides anyway — so toggling
+	// bind on and off never reorders the output.
+	BuildLeft bool
+	// BindLeft, for JoinBind, marks the left input as the bound side (the
+	// one whose scan receives the other side's distinct join-key values);
+	// the default binds the right input. Inner joins only — the left
+	// stream of a left/semi/anti join must not be restricted.
+	BindLeft bool
+	// BindScan, for JoinBind, is the scan inside the bound side that
+	// receives the keys.
+	BindScan *ScanNode
+	// Decision, when non-nil, records the join planner's per-strategy cost
+	// breakdown for EXPLAIN (set only when a side is priceable).
+	Decision *JoinDecision
 }
 
 // Schema implements Node.

@@ -14,10 +14,16 @@ type Options struct {
 	// enforces the real limit — so disabling it only serves ablation and
 	// debugging.
 	LimitPushdown bool
+	// BindJoin lets the join planner choose the bind strategy: drain the
+	// outer join side, push its distinct key values into the build side's
+	// scan (see planJoins). Like every pushdown it never changes results —
+	// the executor drops rows for keys that were never bound — so
+	// disabling it only serves ablation and debugging.
+	BindJoin bool
 }
 
 // DefaultOptions enables every rule.
-func DefaultOptions() Options { return Options{LimitPushdown: true} }
+func DefaultOptions() Options { return Options{LimitPushdown: true, BindJoin: true} }
 
 // Optimize applies the rule pipeline: constant folding in filters, predicate
 // pushdown (into join sides and scans, turning cross joins with equality

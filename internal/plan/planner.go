@@ -33,6 +33,7 @@ func PlanOpts(sel *sql.SelectStmt, cat Catalog, opts Options) (Node, error) {
 	}
 	node = OptimizeOpts(node, opts)
 	annotateScans(node, cat)
+	planJoins(node, cat, opts)
 	return node, nil
 }
 

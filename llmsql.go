@@ -25,7 +25,11 @@
 // token/latency/$ cost model and runs the cheapest (EXPLAIN shows the
 // breakdown), and Config.BatchSize groups keys into batched ATTR prompts
 // on the key-then-attr path — ~BatchSize fewer calls at identical key sets
-// and row order.
+// and row order. Joins are cost-planned too: Config.BindJoin lets the
+// engine drain the cheap join side and push its distinct key values into
+// the other side's scan (a bind join), so only keys the join can use pay
+// the attribute fan-out — byte-identical rows to the hash plan at a
+// fraction of the calls when the outer side is selective.
 //
 // The facade re-exports the stable surface of the internal packages; see
 // README.md for an overview, DESIGN.md for the architecture and
