@@ -1,7 +1,15 @@
 GO ?= go
-BENCH_CURRENT ?= /tmp/llmsql_bench_current.json
+# bench-check writes the current run's JSON here; empty (the default) means
+# a per-run temp file that is cleaned up afterwards, so parallel local runs
+# never clobber each other. CI sets it to a workspace path to upload the
+# JSON as an artifact when the gate fails.
+BENCH_CURRENT ?=
+BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Figure 8
+REPLAY_FIXTURE := testdata/replay/bench_suite.json
+REPLAY_SCALE := 0.25
+REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13
 
-.PHONY: check fmt vet build test race staticcheck bench baseline bench-check fuzz
+.PHONY: check fmt vet build test race staticcheck bench baseline bench-check replay-check replay-fixture fuzz
 
 ## check: everything the CI lint+test jobs run
 check: fmt vet build race
@@ -36,11 +44,41 @@ baseline:
 
 ## bench-check: run the suite and fail on call/token/wall-latency regressions vs BENCH_baseline.json
 bench-check:
-	$(GO) run ./cmd/llmsql-bench -json > $(BENCH_CURRENT)
-	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current $(BENCH_CURRENT) \
-		-require "Table 9,Table 10,Table 11,Table 12,Figure 8"
+	@current="$(BENCH_CURRENT)"; cleanup=""; \
+	if [ -z "$$current" ]; then \
+		current="$$(mktemp -t llmsql_bench_current.XXXXXX)"; cleanup="$$current"; \
+	fi; \
+	status=0; \
+	$(GO) run ./cmd/llmsql-bench -json > "$$current" || status=$$?; \
+	if [ "$$status" -eq 0 ]; then \
+		$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current "$$current" \
+			-require "$(BENCH_REQUIRE)" || status=$$?; \
+	fi; \
+	[ -z "$$cleanup" ] || rm -f "$$cleanup"; \
+	exit $$status
 
-## fuzz: 30s smoke of each native fuzz target (same as the CI fuzz job)
+## replay-check: run the efficiency suite twice from the checked-in replay fixture and fail on any byte difference (what the CI replay-determinism job runs)
+replay-check:
+	@a="$$(mktemp -t llmsql_replay_a.XXXXXX)"; b="$$(mktemp -t llmsql_replay_b.XXXXXX)"; status=0; \
+	$(GO) run ./cmd/llmsql-bench -scale $(REPLAY_SCALE) -replay $(REPLAY_FIXTURE) -only "$(REPLAY_ONLY)" -json > "$$a" || status=$$?; \
+	if [ "$$status" -eq 0 ]; then \
+		$(GO) run ./cmd/llmsql-bench -scale $(REPLAY_SCALE) -replay $(REPLAY_FIXTURE) -only "$(REPLAY_ONLY)" -json > "$$b" || status=$$?; \
+	fi; \
+	if [ "$$status" -eq 0 ]; then \
+		if cmp -s "$$a" "$$b"; then \
+			echo "replay-check: OK — two replayed runs are byte-identical"; \
+		else \
+			echo "replay-check: FAIL — replayed runs differ:"; diff "$$a" "$$b" | head -40; status=1; \
+		fi; \
+	fi; \
+	rm -f "$$a" "$$b"; exit $$status
+
+## replay-fixture: re-record the checked-in replay fixture (after changing prompts, the engine, or the covered experiments)
+replay-fixture:
+	$(GO) run ./cmd/llmsql-bench -scale $(REPLAY_SCALE) -only "$(REPLAY_ONLY)" -record $(REPLAY_FIXTURE) -json > /dev/null
+
+## fuzz: 30s smoke of each native fuzz target (the weekly scheduled CI run uses FUZZTIME=10m)
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime 30s
-	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime 30s
+	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime $(FUZZTIME)

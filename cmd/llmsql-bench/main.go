@@ -8,7 +8,14 @@
 //
 // Usage:
 //
-//	llmsql-bench [-seed N] [-scale F] [-only "Table 4"] [-json]
+//	llmsql-bench [-seed N] [-scale F] [-only "Table 4,Table 9"] [-json]
+//	            [-cache-dir DIR] [-record trace.json | -replay trace.json]
+//
+// -record captures every completion that reaches an experiment model into a
+// trace file; -replay serves the whole suite from such a file instead of
+// the live SynthLM — the deterministic playback behind the CI
+// replay-determinism gate (testdata/replay/bench_suite.json is the
+// checked-in fixture, regenerated with `make replay-fixture`).
 package main
 
 import (
@@ -16,10 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"llmsql/internal/bench"
+	"llmsql/internal/llm"
 )
 
 // jsonRun is the machine-readable output shape of -json.
@@ -31,31 +38,54 @@ type jsonRun struct {
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 2024, "world and model seed")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-style)")
-		only   = flag.String("only", "", "run only the experiment whose ID contains this substring")
-		asJSON = flag.Bool("json", false, "emit the reports as JSON (for BENCH_baseline.json-style records)")
+		seed     = flag.Int64("seed", 2024, "world and model seed")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-style)")
+		only     = flag.String("only", "", "run only experiments whose ID contains one of these comma-separated substrings")
+		asJSON   = flag.Bool("json", false, "emit the reports as JSON (for BENCH_baseline.json-style records)")
+		cacheDir = flag.String("cache-dir", "", "persistent prompt-cache directory shared by the experiment engines (empty = off)")
+		record   = flag.String("record", "", "record every live completion of the run into this trace file (replay fixture)")
+		replay   = flag.String("replay", "", "serve the whole run from this trace file instead of live models")
 	)
 	flag.Parse()
 
-	opts := bench.Options{Seed: *seed, Scale: *scale}
+	if *record != "" && *replay != "" {
+		fmt.Fprintln(os.Stderr, "llmsql-bench: -record and -replay are mutually exclusive (replaying reaches no live model, so there is nothing to record)")
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		// Fail with a clean message now rather than a panic from the first
+		// experiment's engine.
+		if err := llm.CheckCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "llmsql-bench:", err)
+			os.Exit(1)
+		}
+	}
+	opts := bench.Options{Seed: *seed, Scale: *scale, CacheDir: *cacheDir}
+	if *record != "" {
+		opts.Record = llm.NewTrace()
+	}
+	if *replay != "" {
+		trace, err := llm.LoadTrace(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llmsql-bench:", err)
+			os.Exit(1)
+		}
+		opts.Replay = trace
+	}
 	start := time.Now()
-	reports, err := bench.RunAll(opts)
+	reports, err := bench.RunOnly(opts, *only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "llmsql-bench:", err)
 		os.Exit(1)
 	}
-	var kept []bench.Report
-	for _, r := range reports {
-		if *only != "" && !strings.Contains(strings.ToLower(r.ID), strings.ToLower(*only)) {
-			continue
+	if *record != "" {
+		if err := opts.Record.Save(*record); err != nil {
+			fmt.Fprintln(os.Stderr, "llmsql-bench: save trace:", err)
+			os.Exit(1)
 		}
-		kept = append(kept, r)
+		fmt.Fprintf(os.Stderr, "recorded %d completions to %s\n", opts.Record.Len(), *record)
 	}
-	if len(kept) == 0 {
-		fmt.Fprintf(os.Stderr, "llmsql-bench: no experiment matches -only=%q\n", *only)
-		os.Exit(1)
-	}
+	kept := reports
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

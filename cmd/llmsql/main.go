@@ -43,6 +43,9 @@ func main() {
 		batch     = flag.Int("batch", 1, "keys per batched ATTR prompt on the key-then-attr path (1 = unbatched)")
 		parallel  = flag.Int("parallel", 1, "worker-pool width for concurrent model calls (1 = serial)")
 		cacheCap  = flag.Int("cache", 0, "completion-cache capacity in entries (0 = off, negative = default)")
+		cacheDir  = flag.String("cache-dir", "", "persistent prompt-cache directory (content-addressed, survives sessions; empty = off)")
+		record    = flag.String("record", "", "record every live model completion into this trace file (replay fixture)")
+		replay    = flag.String("replay", "", "serve all completions from this trace file instead of the live model")
 		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts and gate key-then-attr keys on key-only predicates")
 		limitPush = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early (identical rows, fewer prompts)")
 		bindJoin  = flag.Bool("bind-join", true, "let joins pass the outer side's distinct keys into the inner key-then-attr scan (identical rows, fewer prompts)")
@@ -81,8 +84,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *record != "" && *replay != "" {
+		fatal(fmt.Errorf("-record and -replay are mutually exclusive (replaying reaches no live model, so there is nothing to record)"))
+	}
+	cfg.CacheDir = *cacheDir
+	var recordTrace *llm.Trace
+	if *record != "" {
+		recordTrace = llm.NewTrace()
+		cfg.RecordTrace = recordTrace
+	}
+	if *replay != "" {
+		cfg.ReplayTrace, err = llm.LoadTrace(*replay)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
-	eng := core.New(llm.NewSynthLM(w, noise, *seed), cfg)
+	eng, err := core.Open(llm.NewSynthLM(w, noise, *seed), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	// Persist the recorded trace on every exit path below.
+	saveTrace := func() {
+		if recordTrace == nil {
+			return
+		}
+		if err := recordTrace.Save(*record); err != nil {
+			fmt.Fprintln(os.Stderr, "llmsql: save trace:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "recorded %d completions to %s\n", recordTrace.Len(), *record)
+		}
+	}
+	defer saveTrace()
 	for _, name := range w.DomainNames() {
 		eng.RegisterWorldDomain(w.Domain(name))
 	}
@@ -148,6 +182,9 @@ func main() {
 			}
 			if s.CacheHits+s.CacheMisses > 0 {
 				fmt.Printf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
+			}
+			if s.DiskHits+s.DiskMisses > 0 {
+				fmt.Printf(", disk %d/%d (%dB)", s.DiskHits, s.DiskHits+s.DiskMisses, s.DiskBytes)
 			}
 			fmt.Println()
 		}

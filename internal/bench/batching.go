@@ -41,7 +41,7 @@ func Table10Batching(o Options) (Report, error) {
 		cfg := keyThenAttrConfig()
 		cfg.Parallelism = 8
 		cfg.BatchSize = b
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+15)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+15)
 		res, err := e.Query(concurrencyQuery)
 		if err != nil {
 			return Report{}, err
@@ -70,7 +70,7 @@ func Table10Batching(o Options) (Report, error) {
 	cfg.Parallelism = 8
 	cfg.BatchSize = 8
 	cfg.Strategy = core.StrategyAuto
-	e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+15)
+	e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+15)
 	res, err := e.Query(concurrencyQuery)
 	if err != nil {
 		return Report{}, err

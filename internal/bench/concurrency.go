@@ -56,7 +56,7 @@ func Table9Parallelism(o Options) (Report, error) {
 	for _, p := range []int{1, 2, 4, 8, 16} {
 		cfg := keyThenAttrConfig()
 		cfg.Parallelism = p
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+13)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+13)
 		res, err := e.Query(concurrencyQuery)
 		if err != nil {
 			return Report{}, err
@@ -89,7 +89,7 @@ func Figure8CacheWarmup(o Options) (Report, error) {
 	cfg := keyThenAttrConfig()
 	cfg.Parallelism = 8
 	cfg.CacheCapacity = 1 << 16
-	e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+14)
+	e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+14)
 
 	t := NewTable("run", "calls", "cached", "tokens charged", "wall latency", "cache hit rate", "$")
 	var rowsByRun []string
@@ -124,7 +124,7 @@ func Figure8CacheWarmup(o Options) (Report, error) {
 	// cache, so the LRU must evict constantly while its size stays bounded.
 	small := keyThenAttrConfig()
 	small.CacheCapacity = 8
-	e2 := newEngine(w, llm.ProfileMedium, small, o.Seed+14)
+	e2 := o.newEngine(w, llm.ProfileMedium, small, o.Seed+14)
 	for i := 0; i < 2; i++ {
 		if _, err := e2.Query(concurrencyQuery); err != nil {
 			return Report{}, err

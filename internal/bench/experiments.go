@@ -18,7 +18,7 @@ func Table2RetrievalQuality(o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	e := newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+1)
+	e := o.newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+1)
 
 	t := NewTable("domain", "truth", "retrieved", "precision", "recall", "F1", "attr-acc", "halluc")
 	for _, name := range w.DomainNames() {
@@ -73,7 +73,7 @@ func Table3QueryClasses(o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	e := newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+2)
+	e := o.newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+2)
 
 	type agg struct {
 		f1s, errs []float64
@@ -143,7 +143,7 @@ func Table4Strategies(o Options) (Report, error) {
 		cfg := core.DefaultConfig()
 		cfg.Strategy = strat
 		cfg.MaxRounds = 6
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+3)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+3)
 		m, usage, err := scoreAgainstBaseline(e, db, "SELECT name, capital, population FROM country", metrics.Options{NumTolerance: attrTolerance})
 		if err != nil {
 			return Report{}, err
@@ -177,7 +177,7 @@ func Table5Voting(o Options) (Report, error) {
 		cfg.Votes = k
 		cfg.Temperature = 0.8
 		cfg.MaxRounds = 3
-		e := newEngine(w, llm.ProfileSmall, cfg, o.Seed+4)
+		e := o.newEngine(w, llm.ProfileSmall, cfg, o.Seed+4)
 		m, usage, err := scoreAgainstBaseline(e, db, "SELECT name, capital, population FROM country", metrics.Options{NumTolerance: attrTolerance})
 		if err != nil {
 			return Report{}, err
@@ -200,7 +200,7 @@ func Table6VsBaseline(o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	e := newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+5)
+	e := o.newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+5)
 
 	t := NewTable("class", "query", "F1/err", "LLM tokens", "LLM sim latency", "store latency")
 	for _, cq := range queryClassSuite()[:8] {
@@ -259,7 +259,7 @@ func Table7Ablations(o Options) (Report, error) {
 	for _, v := range variants {
 		cfg := core.DefaultConfig()
 		v.mut(&cfg)
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+6)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+6)
 		m, usage, err := scoreAgainstBaseline(e, db, query, metrics.Options{NumTolerance: attrTolerance})
 		if err != nil {
 			return Report{}, err
@@ -315,7 +315,7 @@ func Table8Confidence(o Options) (Report, error) {
 		cfg.MaxRounds = 8
 		cfg.StableRounds = 8 // fixed-round protocol for a fair frequency signal
 		cfg.MinConfidence = minConf
-		e := newEngine(w, llm.ProfileSmall, cfg, o.Seed+12)
+		e := o.newEngine(w, llm.ProfileSmall, cfg, o.Seed+12)
 		got, err := e.Query(query)
 		if err != nil {
 			return Report{}, err

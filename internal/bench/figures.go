@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"llmsql/internal/core"
 	"llmsql/internal/llm"
@@ -23,7 +24,7 @@ func Figure4Convergence(o Options) (Report, error) {
 		cfg.Temperature = 0.8
 		cfg.MaxRounds = r
 		cfg.StableRounds = r + 1 // disable the early stop: measure raw rounds
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+7)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+7)
 
 		recall := func(domain string) (float64, int, error) {
 			res, err := e.Query("SELECT " + w.Domain(domain).Schema.Col(0).Name + " FROM " + domain)
@@ -72,7 +73,7 @@ func Figure5ModelQuality(o Options) (Report, error) {
 		f1At := func(temp float64) (float64, error) {
 			cfg := core.DefaultConfig()
 			cfg.Temperature = temp
-			e := newEngine(w, llm.ProfileMedium.WithCoverage(cov), cfg, o.Seed+8)
+			e := o.newEngine(w, llm.ProfileMedium.WithCoverage(cov), cfg, o.Seed+8)
 			m, _, err := scoreAgainstBaseline(e, db, "SELECT name, capital, population FROM country", metrics.Options{NumTolerance: attrTolerance})
 			if err != nil {
 				return 0, err
@@ -113,7 +114,7 @@ func Figure6Popularity(o Options) (Report, error) {
 		}
 		var sum [10]float64
 		for s := 0; s < modelSeeds; s++ {
-			e := newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+9+int64(s)*31)
+			e := o.newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+9+int64(s)*31)
 			res, err := e.Query("SELECT " + d.Schema.Col(0).Name + " FROM " + domain)
 			if err != nil {
 				return [10]float64{}, err
@@ -179,7 +180,7 @@ func Figure7Crossover(o Options) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		e := newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+10)
+		e := o.newEngine(w, llm.ProfileMedium, core.DefaultConfig(), o.Seed+10)
 		query := "SELECT name, population FROM country"
 		truth, storeLat, err := baseline(db, query)
 		if err != nil {
@@ -206,14 +207,14 @@ func Figure7Crossover(o Options) (Report, error) {
 	for i, thr := range thresholds {
 		query := fmt.Sprintf("SELECT name, population FROM country WHERE population > %d", thr)
 		cfgPush := core.DefaultConfig()
-		ePush := newEngine(w, llm.ProfileMedium, cfgPush, o.Seed+11)
+		ePush := o.newEngine(w, llm.ProfileMedium, cfgPush, o.Seed+11)
 		mPush, usagePush, err := scoreAgainstBaseline(ePush, db, query, metrics.Options{NumTolerance: attrTolerance})
 		if err != nil {
 			return Report{}, err
 		}
 		cfgNo := core.DefaultConfig()
 		cfgNo.Pushdown = false
-		eNo := newEngine(w, llm.ProfileMedium, cfgNo, o.Seed+11)
+		eNo := o.newEngine(w, llm.ProfileMedium, cfgNo, o.Seed+11)
 		_, usageNo, err := scoreAgainstBaseline(eNo, db, query, metrics.Options{NumTolerance: attrTolerance})
 		if err != nil {
 			return Report{}, err
@@ -261,33 +262,69 @@ func populationQuantiles(w *world.World, qs []float64) []int64 {
 	return out
 }
 
+// experiments pairs every runner with its report ID, in paper order, so
+// subsets can be selected without running the rest (a replay fixture only
+// has to cover the experiments that actually run).
+var experiments = []struct {
+	ID  string
+	Run func(Options) (Report, error)
+}{
+	{"Table 2", Table2RetrievalQuality},
+	{"Table 3", Table3QueryClasses},
+	{"Table 4", Table4Strategies},
+	{"Table 5", Table5Voting},
+	{"Table 6", Table6VsBaseline},
+	{"Table 7", Table7Ablations},
+	{"Table 8", Table8Confidence},
+	{"Table 9", Table9Parallelism},
+	{"Table 10", Table10Batching},
+	{"Table 11", Table11LimitPushdown},
+	{"Table 12", Table12BindJoins},
+	{"Table 13", Table13WarmCache},
+	{"Figure 4", Figure4Convergence},
+	{"Figure 5", Figure5ModelQuality},
+	{"Figure 6", Figure6Popularity},
+	{"Figure 7", Figure7Crossover},
+	{"Figure 8", Figure8CacheWarmup},
+}
+
 // RunAll executes every experiment and returns the reports in paper order.
-func RunAll(o Options) ([]Report, error) {
-	runners := []func(Options) (Report, error){
-		Table2RetrievalQuality,
-		Table3QueryClasses,
-		Table4Strategies,
-		Table5Voting,
-		Table6VsBaseline,
-		Table7Ablations,
-		Table8Confidence,
-		Table9Parallelism,
-		Table10Batching,
-		Table11LimitPushdown,
-		Table12BindJoins,
-		Figure4Convergence,
-		Figure5ModelQuality,
-		Figure6Popularity,
-		Figure7Crossover,
-		Figure8CacheWarmup,
+func RunAll(o Options) ([]Report, error) { return RunOnly(o, "") }
+
+// RunOnly executes the experiments whose ID contains any of the
+// comma-separated, case-insensitive substrings in filter (empty = all), in
+// paper order. A filter matching nothing is an error.
+func RunOnly(o Options, filter string) ([]Report, error) {
+	var subs []string
+	for _, s := range strings.Split(filter, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+			subs = append(subs, s)
+		}
+	}
+	matches := func(id string) bool {
+		if len(subs) == 0 {
+			return true
+		}
+		for _, s := range subs {
+			if strings.Contains(strings.ToLower(id), s) {
+				return true
+			}
+		}
+		return false
 	}
 	var out []Report
-	for _, run := range runners {
-		r, err := run(o)
+	for _, ex := range experiments {
+		if !matches(ex.ID) {
+			continue
+		}
+		r, err := ex.Run(o)
 		if err != nil {
-			return out, err
+			return out, fmt.Errorf("%s: %w", ex.ID, err)
 		}
 		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiment matches %q", filter)
 	}
 	return out, nil
 }

@@ -22,6 +22,19 @@ type Options struct {
 	// Scale multiplies workload sizes; 1.0 is the paper-style run, tests
 	// use smaller values. Values below 0.05 are clamped.
 	Scale float64
+	// CacheDir, when non-empty, gives every experiment engine a persistent
+	// prompt cache at this directory (experiments that manage their own
+	// cache, like Table 13, keep theirs). Engines are used sequentially, so
+	// sharing one directory across the suite is safe.
+	CacheDir string
+	// Record, when non-nil, captures every completion that reaches an
+	// experiment model into the trace — the replay-fixture recorder (one
+	// trace holds all experiment models; fingerprints embed the model id).
+	Record *llm.Trace
+	// Replay, when non-nil, serves every experiment model from the trace
+	// instead of a live SynthLM; a request outside the trace is an error.
+	// Deterministic playback for CI. Replay wins when both are set.
+	Replay *llm.Trace
 }
 
 // DefaultOptions is the paper-style configuration.
@@ -57,8 +70,19 @@ func (o Options) buildWorld() *world.World {
 	})
 }
 
-// newEngine wires a fresh engine over a fresh SynthLM for the world.
-func newEngine(w *world.World, profile llm.NoiseProfile, cfg core.Config, seed int64) *core.Engine {
+// newEngine wires a fresh engine over a fresh SynthLM for the world,
+// applying the suite-wide cache directory and record/replay trace from the
+// options (per-experiment config settings win).
+func (o Options) newEngine(w *world.World, profile llm.NoiseProfile, cfg core.Config, seed int64) *core.Engine {
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = o.CacheDir
+	}
+	if cfg.RecordTrace == nil {
+		cfg.RecordTrace = o.Record
+	}
+	if cfg.ReplayTrace == nil {
+		cfg.ReplayTrace = o.Replay
+	}
 	model := llm.NewSynthLM(w, profile, seed)
 	e := core.New(model, cfg)
 	for _, name := range w.DomainNames() {

@@ -51,7 +51,7 @@ func Table12BindJoins(o Options) (Report, error) {
 		cfg := keyThenAttrConfig()
 		cfg.Parallelism = 8
 		cfg.BindJoin = bind
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+17)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+17)
 		db, err := mkLocal()
 		if err != nil {
 			return nil, err

@@ -23,7 +23,7 @@ func Table11LimitPushdown(o Options) (Report, error) {
 		cfg := keyThenAttrConfig()
 		cfg.Parallelism = 8
 		cfg.LimitPushdown = push
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+16)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+16)
 		return e.Query(query)
 	}
 
@@ -62,7 +62,7 @@ func Table11LimitPushdown(o Options) (Report, error) {
 		cfg := keyThenAttrConfig()
 		cfg.Parallelism = 8
 		cfg.Pushdown = push
-		e := newEngine(w, llm.ProfileMedium, cfg, o.Seed+16)
+		e := o.newEngine(w, llm.ProfileMedium, cfg, o.Seed+16)
 		res, err := e.Query(gateQuery)
 		if err != nil {
 			return Report{}, err

@@ -8,6 +8,8 @@
 // executor (internal/exec).
 package core
 
+import "llmsql/internal/llm"
+
 // Strategy selects how a table scan is decomposed into prompts.
 type Strategy int
 
@@ -131,6 +133,32 @@ type Config struct {
 	// that many entries in front of the model (negative values select the
 	// default capacity). Cache hits cost no simulated latency or dollars.
 	CacheCapacity int
+	// CacheDir, when non-empty, layers a persistent on-disk prompt cache
+	// (llm.DiskCache) under the in-memory one: completions are
+	// content-addressed by a versioned fingerprint of model id + prompt +
+	// decode parameters and survive across queries, engines and processes.
+	// Hits cost no simulated latency or dollars, are attributed per scan in
+	// ScanStats.DiskHits/DiskMisses/DiskBytes, and warm the scan planner's
+	// estimates (a probed-warm scan's estimated $ and wall are discounted,
+	// visible in EXPLAIN as warm-hit). Engines with a CacheDir should be
+	// Closed to release the cache's segment file.
+	CacheDir string
+	// CacheMaxBytes bounds the persistent cache's live set (LRU by bytes);
+	// values < 1 select llm.DefaultDiskCacheBytes. Meaningful only with
+	// CacheDir.
+	CacheMaxBytes int64
+	// RecordTrace, when non-nil, wraps the base model so every completion
+	// that actually reaches it (cache hits never do) is captured into the
+	// trace, keyed by the same versioned fingerprint the caches use. Saved
+	// traces are the replay fixtures behind deterministic CI.
+	RecordTrace *llm.Trace
+	// ReplayTrace, when non-nil, replaces the base model entirely: every
+	// completion is answered from the trace by fingerprint (the model
+	// argument of New/Open contributes only its name), and a request the
+	// trace does not contain is an error. Replayed token counts reproduce
+	// Usage — calls, tokens, SimWall, dollars — byte-identically on any
+	// machine. ReplayTrace wins when both are set.
+	ReplayTrace *llm.Trace
 	// Seed offsets sampling seeds so experiments can decorrelate runs.
 	Seed int64
 }

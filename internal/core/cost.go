@@ -100,6 +100,37 @@ func keySelectivity(filter sql.Expr, keyName string, rows int) float64 {
 	return sel
 }
 
+// warmHitRate estimates the persistent prompt-cache hit rate this scan
+// would see, by probing the cache's content-addressed index with the scan's
+// deterministic round-0 enumeration fingerprints (LIST, paged page 0,
+// KEYS) — cache metadata, not a model call. A content-addressed cache is
+// all-or-nothing for a repeated workload, so a warm enumeration prompt
+// means the scan replays warm (rate 1); all probes cold means rate 0.
+// Callers must hold s.mu or own the table exclusively.
+func (s *LLMStore) warmHitRate(t *VirtualTable, cols []int, filter sql.Expr) float64 {
+	if s.disk == nil {
+		return 0
+	}
+	keyName := t.Schema.Col(t.Schema.KeyIndexes()[0]).Name
+	keyFilter := sql.JoinConjuncts(keyOnlyConjuncts(filter, keyName))
+	probes := []string{
+		buildListPrompt(t, cols, filter, nil, 0),
+		buildListPrompt(t, cols, filter, nil, s.cfg.PageSize),
+		buildKeysPrompt(t, keyFilter, nil, 0),
+	}
+	for _, prompt := range probes {
+		if s.disk.Contains(llm.CompletionRequest{
+			Prompt:      prompt,
+			MaxTokens:   s.cfg.MaxCompletionTokens,
+			Temperature: s.cfg.Temperature,
+			Seed:        s.cfg.Seed,
+		}) {
+			return 1
+		}
+	}
+	return 0
+}
+
 // scanCostModel assembles the estimator inputs for scanning cols of t
 // under the given pushed filter and advisory limit.
 func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int, filter sql.Expr, limit int64) plan.ScanCostModel {
@@ -145,6 +176,7 @@ func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int, filter sql.Expr, l
 		Parallelism:      cfg.Parallelism,
 		Limit:            limit,
 		Selectivity:      keySelectivity(filter, t.Schema.Col(keyPos).Name, estRows),
+		WarmHitRate:      s.warmHitRate(t, cols, filter),
 	}
 }
 

@@ -21,25 +21,74 @@ type Engine struct {
 	store *LLMStore
 	model *llm.CountingModel
 	cache *llm.CacheModel // optional, per Config.CacheCapacity
+	disk  *llm.DiskCache  // optional, per Config.CacheDir
 	local *storage.DB     // optional
 }
 
-// New builds an engine over the model with the given configuration. When
-// Config.CacheCapacity is non-zero the model is fronted by a bounded LRU
-// completion cache; the counting wrapper sits outside it, so cache hits are
-// counted as calls but charged zero latency and dollars.
+// New builds an engine over the model with the given configuration. It is
+// Open without the error path: a persistent cache directory that cannot be
+// opened panics here, so callers configuring Config.CacheDir at runtime
+// should prefer Open.
 func New(model llm.Model, cfg Config) *Engine {
+	e, err := Open(model, cfg)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return e
+}
+
+// Open builds an engine over the model, assembling the backend stack the
+// configuration asks for — outermost first:
+//
+//	CountingModel                       usage accounting (always)
+//	CacheModel                          Config.CacheCapacity != 0
+//	DiskCache                           Config.CacheDir != ""
+//	trace recorder | trace replayer     Config.RecordTrace / ReplayTrace
+//	model                               the base backend
+//
+// The counting wrapper sits outside every cache, so hits are counted as
+// calls but charged zero latency and dollars. A replay trace substitutes
+// the base model entirely (only its name is used); a record trace captures
+// exactly the traffic the caches let through.
+func Open(model llm.Model, cfg Config) (*Engine, error) {
+	base := model
+	switch {
+	case cfg.ReplayTrace != nil:
+		base = cfg.ReplayTrace.Replay(model.Name())
+	case cfg.RecordTrace != nil:
+		base = cfg.RecordTrace.Record(model)
+	}
+	var disk *llm.DiskCache
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = llm.NewDiskCache(base, cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		base = disk
+	}
 	var cache *llm.CacheModel
 	if cfg.CacheCapacity != 0 {
-		cache = llm.NewCacheSized(model, cfg.CacheCapacity)
-		model = cache
+		cache = llm.NewCacheSized(base, cfg.CacheCapacity)
+		base = cache
 	}
-	counting := llm.NewCounting(model)
+	counting := llm.NewCounting(base)
 	return &Engine{
 		store: NewLLMStore(counting, cfg),
 		model: counting,
 		cache: cache,
+		disk:  disk,
+	}, nil
+}
+
+// Close releases resources held by the backend stack (the persistent
+// cache's segment file). The engine must not be used after Close; engines
+// without a Config.CacheDir need not be closed.
+func (e *Engine) Close() error {
+	if e.disk == nil {
+		return nil
 	}
+	return e.disk.Close()
 }
 
 // CostModel replaces the simulated cost constants, for both accounting and
@@ -56,6 +105,15 @@ func (e *Engine) CacheStats() llm.CacheStats {
 		return llm.CacheStats{}
 	}
 	return e.cache.CacheStats()
+}
+
+// DiskCacheStats reports the persistent prompt cache's counters and
+// occupancy (the zero value when no Config.CacheDir is configured).
+func (e *Engine) DiskCacheStats() llm.DiskCacheStats {
+	if e.disk == nil {
+		return llm.DiskCacheStats{}
+	}
+	return e.disk.Stats()
 }
 
 // Config returns the engine's configuration.

@@ -61,6 +61,13 @@ type ScanStats struct {
 	// at Parallelism > 1 they may warm the cache for later scans).
 	CacheHits   int
 	CacheMisses int
+	// DiskHits and DiskMisses count persistent prompt-cache lookups among
+	// the calls this scan consumed, and DiskBytes the on-disk record bytes
+	// those hits served (all zero without Config.CacheDir). An in-memory
+	// cache hit performs no disk lookup and counts in neither.
+	DiskHits   int
+	DiskMisses int
+	DiskBytes  int64
 	// Parse aggregates the parser counters.
 	Parse ParseStats
 }
@@ -78,7 +85,8 @@ func (s ScanStats) Label() string {
 // It is safe for concurrent use.
 type LLMStore struct {
 	model llm.Model
-	cache *llm.CacheModel // completion cache in the model chain, if any
+	cache *llm.CacheModel // in-memory completion cache in the model chain, if any
+	disk  *llm.DiskCache  // persistent prompt cache in the model chain, if any
 	cfg   Config
 	// costModel prices candidate decompositions for the scan planner; it
 	// mirrors the accounting CostModel (Engine.CostModel keeps them in
@@ -98,6 +106,7 @@ func NewLLMStore(model llm.Model, cfg Config) *LLMStore {
 	return &LLMStore{
 		model:     model,
 		cache:     llm.FindCache(model),
+		disk:      llm.FindDiskCache(model),
 		cfg:       cfg.normalize(),
 		costModel: llm.DefaultCostModel(),
 		tables:    make(map[string]*VirtualTable),
@@ -317,17 +326,34 @@ func (sc *llmScan) modelCall(prompt string, seed int64) (llm.CompletionResponse,
 func (sc *llmScan) addWall(d time.Duration) { sc.wall += d }
 
 // countCache attributes one consumed completion to the scan's cache
-// counters. Counting from the response's own Cached flag is exact even when
+// counters. Counting from the response's own flags is exact even when
 // queries run concurrently (a global before/after counter diff is not), and
 // discarded speculative calls are never attributed, mirroring Prompts.
-func (sc *llmScan) countCache(cached bool) {
-	if sc.store.cache == nil {
-		return
+func (sc *llmScan) countCache(resp llm.CompletionResponse) {
+	sc.countCall(resp.Cached, resp.DiskCached, resp.DiskBytes)
+}
+
+// countCall is countCache over the flags alone (fan-out phases keep them in
+// index-disjoint slots and attribute on the scan goroutine afterwards).
+// The disk layer is consulted only when the in-memory layer missed, so an
+// uncached response is a disk miss but a memory hit is neither — and a
+// disk-cached response, which kept Cached set on its way out through the
+// memory layer's miss path, is a memory miss, not a memory hit.
+func (sc *llmScan) countCall(cached, diskCached bool, diskBytes int64) {
+	if sc.store.cache != nil {
+		if cached && !diskCached {
+			sc.stats.CacheHits++
+		} else {
+			sc.stats.CacheMisses++
+		}
 	}
-	if cached {
-		sc.stats.CacheHits++
-	} else {
-		sc.stats.CacheMisses++
+	if sc.store.disk != nil {
+		if diskCached {
+			sc.stats.DiskHits++
+			sc.stats.DiskBytes += diskBytes
+		} else if !cached {
+			sc.stats.DiskMisses++
+		}
 	}
 }
 
@@ -414,7 +440,7 @@ func (sc *llmScan) runRounds(promptVaries bool, issue func(seed int64) (llm.Comp
 			return nil, err
 		}
 		sc.stats.Prompts++
-		sc.countCache(resp.Cached)
+		sc.countCache(resp)
 		rows := parse(resp.Text)
 		newThisRound := 0
 		seenThisRound := map[string]bool{}
@@ -531,10 +557,12 @@ func (sc *llmScan) runPaged() ([]rel.Row, error) {
 
 // attrVote is one self-consistency vote for one attribute cell.
 type attrVote struct {
-	val    rel.Value
-	ok     bool
-	cached bool
-	lat    time.Duration
+	val       rel.Value
+	ok        bool
+	cached    bool
+	disk      bool
+	diskBytes int64
+	lat       time.Duration
 }
 
 // startKeyThenAttr runs the enumeration phase of the key-then-attr
@@ -842,7 +870,7 @@ func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int, sched *l
 			return err
 		}
 		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		results[i] = attrVote{val: val, ok: ok, cached: resp.Cached, lat: resp.SimLatency}
+		results[i] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
 		return nil
 	})
 	if err != nil {
@@ -854,7 +882,7 @@ func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int, sched *l
 	before := sched.Makespan()
 	for i := range results {
 		sched.Add(results[i].lat)
-		sc.countCache(results[i].cached)
+		sc.countCall(results[i].cached, results[i].disk, results[i].diskBytes)
 	}
 	sc.addWall(sched.Makespan() - before)
 	return results, nil
@@ -876,11 +904,13 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 
 	// One task per (batch, column, vote), indexed batch-major.
 	type batchAnswer struct {
-		vals   []rel.Value
-		ok     []bool
-		found  []bool
-		cached bool
-		lat    time.Duration
+		vals      []rel.Value
+		ok        []bool
+		found     []bool
+		cached    bool
+		disk      bool
+		diskBytes int64
+		lat       time.Duration
 	}
 	n := numBatches * len(attrCols) * votes
 	tasks := make([]batchAnswer, n)
@@ -898,7 +928,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 			return err
 		}
 		vals, ok, found := parseAttrBatchCompletion(resp.Text, group, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		tasks[i] = batchAnswer{vals: vals, ok: ok, found: found, cached: resp.Cached, lat: resp.SimLatency}
+		tasks[i] = batchAnswer{vals: vals, ok: ok, found: found, cached: resp.Cached, disk: resp.DiskCached, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
 		return nil
 	})
 	if err != nil {
@@ -909,7 +939,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 	before := primary.Makespan()
 	for i := range tasks {
 		primary.Add(tasks[i].lat)
-		sc.countCache(tasks[i].cached)
+		sc.countCall(tasks[i].cached, tasks[i].disk, tasks[i].diskBytes)
 	}
 	sc.addWall(primary.Makespan() - before)
 
@@ -948,7 +978,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 			return err
 		}
 		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		fb[j] = attrVote{val: val, ok: ok, cached: resp.Cached, lat: resp.SimLatency}
+		fb[j] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
 		return nil
 	})
 	if err != nil {
@@ -958,7 +988,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 	before = fallback.Makespan()
 	for j := range fb {
 		fallback.Add(fb[j].lat)
-		sc.countCache(fb[j].cached)
+		sc.countCall(fb[j].cached, fb[j].disk, fb[j].diskBytes)
 		results[repair[j]] = attrVote{val: fb[j].val, ok: fb[j].ok}
 	}
 	sc.addWall(fallback.Makespan() - before)

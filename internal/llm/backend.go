@@ -1,0 +1,59 @@
+package llm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// The model stack is built from pluggable backends. A Backend is anything
+// that completes prompts — the same contract as Model; the two names are
+// aliases. "Backend" is used when talking about the bottom of the stack and
+// the persistence layers above it, "Model" when talking about the
+// engine-facing top. The full stack, outermost first:
+//
+//	CountingModel          usage accounting (always outermost)
+//	CacheModel             in-memory bounded LRU (Config.CacheCapacity)
+//	DiskCache              persistent content-addressed prompt cache
+//	Recorder | Replayer    trace capture / deterministic playback
+//	SynthLM (or any API)   the base backend
+//
+// Every layer implements Unwrapper, so capabilities can be located
+// regardless of stacking order (FindCache, FindDiskCache). All persistent
+// layers address completions by Fingerprint, the versioned content hash of
+// (model id, prompt, decode parameters) — two requests share an answer
+// exactly when their fingerprints match.
+
+// Backend is a pluggable completion provider. It is the same interface as
+// Model under the name used for the storage side of the stack: SynthLM, a
+// hosted API adapter, a Replayer serving a recorded trace, or a DiskCache
+// layered over any of them.
+type Backend = Model
+
+// FingerprintVersion versions the content-address format. Bumping it
+// invalidates every previously persisted cache entry and trace record: old
+// fingerprints can no longer be produced, so stale completions are never
+// served after a change to the prompt protocol or the fingerprint encoding
+// itself.
+const FingerprintVersion = 1
+
+// Fingerprint returns the content address of one completion request against
+// a named model: the hex SHA-256 of a versioned canonical encoding of the
+// model id, the prompt and the decode parameters (max tokens, temperature,
+// seed). Everything that can change a deterministic backend's answer is in
+// the hash; nothing else is.
+func Fingerprint(model string, req CompletionRequest) string {
+	return fingerprintAt(FingerprintVersion, model, req)
+}
+
+// fingerprintAt is Fingerprint pinned to an explicit format version
+// (exposed separately so versioning tests can produce "old" fingerprints).
+func fingerprintAt(version int, model string, req CompletionRequest) string {
+	h := sha256.New()
+	// NUL-separated fields: no field can contain NUL, so the encoding is
+	// injective and fingerprints cannot collide across field boundaries.
+	fmt.Fprintf(h, "llmsql-fp-v%d\x00%s\x00%d\x00%g\x00%d\x00",
+		version, model, req.MaxTokens, req.Temperature, req.Seed)
+	h.Write([]byte(req.Prompt))
+	return hex.EncodeToString(h.Sum(nil))
+}

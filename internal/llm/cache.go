@@ -84,6 +84,9 @@ func (c *CacheModel) Complete(req CompletionRequest) (CompletionResponse, error)
 		resp := el.Value.(*cacheEntry).resp
 		c.mu.Unlock()
 		resp.Cached = true
+		// Served from memory, wherever the stored copy originally came from.
+		resp.DiskCached = false
+		resp.DiskBytes = 0
 		return resp, nil
 	}
 	c.stats.Misses++

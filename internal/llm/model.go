@@ -29,8 +29,15 @@ type CompletionResponse struct {
 	// Truncated reports that MaxTokens cut the completion.
 	Truncated bool
 	// Cached reports the response was served from a completion cache and
-	// therefore cost no latency or dollars (set by CacheModel).
+	// therefore cost no latency or dollars (set by CacheModel and
+	// DiskCache).
 	Cached bool
+	// DiskCached narrows Cached: the response came from the persistent
+	// on-disk prompt cache, not the in-memory LRU (set by DiskCache;
+	// cleared by CacheModel when it re-serves a memoized copy). DiskBytes
+	// is the on-disk record size served.
+	DiskCached bool
+	DiskBytes  int64
 	// SimLatency is the simulated wall-clock time of this one call under the
 	// accounting CostModel (zero for cached responses; set by CountingModel).
 	// Schedulers use it to compute critical-path latency of concurrent scans.

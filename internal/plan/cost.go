@@ -61,6 +61,9 @@ type ScanDecision struct {
 	// min(cardinality*selectivity, limit+window). Equal to the filtered
 	// cardinality when no limit is pushed.
 	EstKeysAttributed int
+	// WarmHitRate is the expected persistent prompt-cache hit rate the
+	// pricing discounted estimated $ and wall by (0 = cold or no cache).
+	WarmHitRate float64
 	// Candidates holds the cost breakdown per strategy, in a stable order.
 	Candidates []StrategyCost
 }
@@ -90,6 +93,9 @@ func (d ScanDecision) String() string {
 	fmt.Fprintf(&b, " est-rows=%d", d.EstRows)
 	if d.Limit > 0 {
 		fmt.Fprintf(&b, " limit=%d est-attr=%d", d.Limit, d.EstKeysAttributed)
+	}
+	if d.WarmHitRate > 0 {
+		fmt.Fprintf(&b, " warm-hit=%.2f", d.WarmHitRate)
 	}
 	for _, c := range d.Candidates {
 		fmt.Fprintf(&b, " | %s: %d prompts, %d tok, $%.4f, %s",
@@ -193,6 +199,15 @@ type ScanCostModel struct {
 	// strategy and, because key-only conjuncts are enforced locally by the
 	// scan's gate, the number of keys that reach the attribute phase.
 	Selectivity float64
+	// WarmHitRate is the expected persistent prompt-cache hit rate for this
+	// scan's prompts (0 = cold or no cache; the engine probes the cache's
+	// content-addressed index with the scan's deterministic round-0
+	// enumeration fingerprints). Cached calls cost no dollars or latency,
+	// so estimated $ and wall are discounted by the rate — uniformly across
+	// candidates, which leaves the strategy choice itself unchanged.
+	// Prompt and token counts stay undiscounted: the calls are still
+	// issued, they are just free.
+	WarmHitRate float64
 }
 
 func (m ScanCostModel) normalized() ScanCostModel {
@@ -222,6 +237,12 @@ func (m ScanCostModel) normalized() ScanCostModel {
 	}
 	if m.Selectivity <= 0 || m.Selectivity > 1 {
 		m.Selectivity = 1
+	}
+	if m.WarmHitRate < 0 {
+		m.WarmHitRate = 0
+	}
+	if m.WarmHitRate > 1 {
+		m.WarmHitRate = 1
 	}
 	return m
 }
@@ -294,15 +315,18 @@ func (m ScanCostModel) fanOutWall(n int, d time.Duration) time.Duration {
 
 // price assembles a StrategyCost from call shape totals. perCallPrompt and
 // perCallCompletion describe the average call so wall latency can be
-// scheduled; token totals carry the exact sums.
+// scheduled; token totals carry the exact sums. An expected warm-cache hit
+// rate discounts $ and wall — cached calls are free — while the prompt and
+// token columns keep the full workload shape.
 func (m ScanCostModel) price(name string, prompts, promptTok, complTok int, wall time.Duration) StrategyCost {
+	cold := 1 - m.WarmHitRate
 	return StrategyCost{
 		Strategy:         name,
 		Prompts:          prompts,
 		PromptTokens:     promptTok,
 		CompletionTokens: complTok,
-		Wall:             wall,
-		Dollars:          m.Cost.Dollars(promptTok, complTok),
+		Wall:             time.Duration(float64(wall) * cold),
+		Dollars:          m.Cost.Dollars(promptTok, complTok) * cold,
 	}
 }
 
@@ -440,6 +464,7 @@ func (m ScanCostModel) Decide() ScanDecision {
 		EstRows:           m.Rows,
 		Limit:             m.Limit,
 		EstKeysAttributed: m.attrKeys(),
+		WarmHitRate:       m.WarmHitRate,
 		Candidates:        cands,
 	}
 }

@@ -71,8 +71,15 @@ type VirtualTable = core.VirtualTable
 // QueryResult bundles rows with the execution report. See core.QueryResult.
 type QueryResult = core.QueryResult
 
-// New builds an engine over any Model.
+// New builds an engine over any Model. It panics when Config.CacheDir
+// names a directory that cannot be opened; prefer Open for runtime-chosen
+// cache directories.
 func New(model Model, cfg Config) *Engine { return core.New(model, cfg) }
+
+// Open builds an engine over any Model, assembling the configured backend
+// stack (in-memory cache, persistent disk cache, record/replay trace) with
+// an error path. See core.Open.
+func Open(model Model, cfg Config) (*Engine, error) { return core.Open(model, cfg) }
 
 // DefaultConfig returns the paper-style engine configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -131,6 +138,10 @@ var (
 // Model is anything that completes prompts. See llm.Model.
 type Model = llm.Model
 
+// Backend is a pluggable completion provider — the same contract as Model,
+// under the name used for the storage side of the stack. See llm.Backend.
+type Backend = llm.Backend
+
 // NoiseProfile controls the simulated model's reliability. See
 // llm.NoiseProfile.
 type NoiseProfile = llm.NoiseProfile
@@ -168,6 +179,37 @@ func NewCache(m Model) *CacheModel { return llm.NewCache(m) }
 // NewCacheSized wraps a model with an LRU completion cache bounded to
 // capacity entries (values < 1 select the default capacity).
 func NewCacheSized(m Model, capacity int) *CacheModel { return llm.NewCacheSized(m, capacity) }
+
+// DiskCache is the persistent content-addressed prompt cache. Engines
+// configured with Config.CacheDir manage their own; this wrapper is for
+// standalone model stacks. See llm.DiskCache.
+type DiskCache = llm.DiskCache
+
+// DiskCacheStats reports the persistent cache's counters and occupancy.
+// See llm.DiskCacheStats.
+type DiskCacheStats = llm.DiskCacheStats
+
+// NewDiskCache opens (creating if needed) a persistent prompt cache at dir
+// over m, LRU-bounded to maxBytes live bytes (values < 1 select the
+// default).
+func NewDiskCache(m Model, dir string, maxBytes int64) (*DiskCache, error) {
+	return llm.NewDiskCache(m, dir, maxBytes)
+}
+
+// Trace is a recorded set of completions keyed by content fingerprint —
+// the record/replay fixture behind deterministic testing. See llm.Trace.
+type Trace = llm.Trace
+
+// NewTrace returns an empty trace (record into it via Config.RecordTrace).
+func NewTrace() *Trace { return llm.NewTrace() }
+
+// LoadTrace reads a trace fixture written by Trace.Save.
+func LoadTrace(path string) (*Trace, error) { return llm.LoadTrace(path) }
+
+// Fingerprint returns the versioned content address of one completion
+// request against a named model — the key the persistent cache and traces
+// share. See llm.Fingerprint.
+var Fingerprint = llm.Fingerprint
 
 // NewSynthLM builds the deterministic simulated LLM over a world.
 func NewSynthLM(w *World, profile NoiseProfile, seed int64) *llm.SynthLM {
