@@ -4,7 +4,7 @@ GO ?= go
 # never clobber each other. CI sets it to a workspace path to upload the
 # JSON as an artifact when the gate fails.
 BENCH_CURRENT ?=
-BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Figure 8
+BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Figure 8,Frontend
 REPLAY_FIXTURE := testdata/replay/bench_suite.json
 REPLAY_SCALE := 0.25
 REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13
@@ -82,3 +82,4 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sql -run '^$$' -fuzz '^FuzzParseParams$$' -fuzztime $(FUZZTIME)

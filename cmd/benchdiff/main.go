@@ -178,9 +178,12 @@ func compareCSV(id, baseCSV, curCSV string, tol float64) (regressions, improveme
 }
 
 // watched reports whether a CSV column participates in the perf gate.
+// "allocs" columns gate front-end allocation counts (deterministic, unlike
+// ns/op, which stays out of the gate because it varies across machines).
 func watched(col string) bool {
 	c := strings.ToLower(col)
-	return strings.Contains(c, "calls") || strings.Contains(c, "tokens") || strings.Contains(c, "wall")
+	return strings.Contains(c, "calls") || strings.Contains(c, "tokens") ||
+		strings.Contains(c, "wall") || strings.Contains(c, "allocs")
 }
 
 // parseCSV splits a report's CSV series into its header and rows keyed by

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"llmsql/internal/core"
@@ -56,6 +57,8 @@ func main() {
 		countries = flag.Int("countries", 120, "world size: countries")
 		movies    = flag.Int("movies", 200, "world size: movies")
 	)
+	var params paramFlags
+	flag.Var(&params, "param", "bind a query parameter; repeatable. name=value binds :name, a bare value binds the next $n/? positionally. Values parse as int, float, bool or null, else text")
 	flag.Parse()
 
 	w := world.Generate(world.Config{
@@ -151,14 +154,15 @@ func main() {
 		}
 		var res *core.QueryResult
 		var err error
+		args := params.args()
 		if *analyze {
 			var analyzed string
-			res, analyzed, err = eng.QueryAnalyze(query)
+			res, analyzed, err = eng.QueryAnalyze(query, args...)
 			if err == nil {
 				fmt.Print(analyzed)
 			}
 		} else {
-			res, err = eng.Query(query)
+			res, err = eng.Query(query, args...)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -216,6 +220,63 @@ func main() {
 		}
 		runOne(line)
 	}
+}
+
+// paramFlags collects repeated -param flags: `name=value` entries bind
+// :name parameters, bare `value` entries bind $n/? positionally in the
+// order given. The two styles cannot be mixed (the parser enforces the
+// same rule inside one statement).
+type paramFlags struct {
+	named map[string]any
+	pos   []any
+}
+
+func (p *paramFlags) String() string { return "" }
+
+func (p *paramFlags) Set(s string) error {
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		if len(p.pos) > 0 {
+			return fmt.Errorf("cannot mix named (name=value) and positional -param flags")
+		}
+		if p.named == nil {
+			p.named = map[string]any{}
+		}
+		p.named[s[:i]] = parseParamValue(s[i+1:])
+		return nil
+	}
+	if len(p.named) > 0 {
+		return fmt.Errorf("cannot mix named (name=value) and positional -param flags")
+	}
+	p.pos = append(p.pos, parseParamValue(s))
+	return nil
+}
+
+// args renders the collected flags as Engine.Query arguments.
+func (p *paramFlags) args() []any {
+	if len(p.named) > 0 {
+		return []any{core.NamedArgs(p.named)}
+	}
+	return p.pos
+}
+
+// parseParamValue types a flag value: int, float, bool and null literals
+// bind as their SQL types, anything else binds as text.
+func parseParamValue(s string) any {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	switch strings.ToLower(s) {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null":
+		return nil
+	}
+	return s
 }
 
 func scoreQuery(db *storage.DB, query string, res *core.QueryResult) {

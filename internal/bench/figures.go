@@ -286,6 +286,7 @@ var experiments = []struct {
 	{"Figure 6", Figure6Popularity},
 	{"Figure 7", Figure7Crossover},
 	{"Figure 8", Figure8CacheWarmup},
+	{"Frontend", FrontendAllocs},
 }
 
 // RunAll executes every experiment and returns the reports in paper order.

@@ -147,6 +147,13 @@ type Config struct {
 	// values < 1 select llm.DefaultDiskCacheBytes. Meaningful only with
 	// CacheDir.
 	CacheMaxBytes int64
+	// PlanCacheCapacity bounds the engine's prepared-plan cache, an LRU of
+	// planned statements keyed on normalized SQL text: repeated queries (and
+	// prepared statements) skip re-parsing and re-planning. 0 selects
+	// DefaultPlanCacheCapacity; negative values disable the cache. The cache
+	// affects neither results nor model traffic — only front-end CPU work —
+	// and is invalidated whenever the catalog or cost model changes.
+	PlanCacheCapacity int
 	// RecordTrace, when non-nil, wraps the base model so every completion
 	// that actually reaches it (cache hits never do) is captured into the
 	// trace, keyed by the same versioned fingerprint the caches use. Saved

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"llmsql/internal/exec"
 	"llmsql/internal/expr"
@@ -23,6 +24,12 @@ type Engine struct {
 	cache *llm.CacheModel // optional, per Config.CacheCapacity
 	disk  *llm.DiskCache  // optional, per Config.CacheDir
 	local *storage.DB     // optional
+	plans *planCache      // optional, per Config.PlanCacheCapacity
+	// gen is the catalog generation: bumped whenever a change could make a
+	// cached plan wrong (table registered, local store attached or written,
+	// cost model replaced). Cached plans carry the generation they were
+	// planned at and are discarded on mismatch.
+	gen atomic.Uint64
 }
 
 // New builds an engine over the model with the given configuration. It is
@@ -73,11 +80,19 @@ func Open(model llm.Model, cfg Config) (*Engine, error) {
 		base = cache
 	}
 	counting := llm.NewCounting(base)
+	var plans *planCache
+	switch {
+	case cfg.PlanCacheCapacity > 0:
+		plans = newPlanCache(cfg.PlanCacheCapacity)
+	case cfg.PlanCacheCapacity == 0:
+		plans = newPlanCache(DefaultPlanCacheCapacity)
+	}
 	return &Engine{
 		store: NewLLMStore(counting, cfg),
 		model: counting,
 		cache: cache,
 		disk:  disk,
+		plans: plans,
 	}, nil
 }
 
@@ -92,10 +107,34 @@ func (e *Engine) Close() error {
 }
 
 // CostModel replaces the simulated cost constants, for both accounting and
-// the scan planner's strategy pricing (they always share constants).
+// the scan planner's strategy pricing (they always share constants). Cached
+// plans are invalidated: their scan-strategy decisions were priced under the
+// old constants.
 func (e *Engine) CostModel(c llm.CostModel) {
 	e.model.Cost = c
 	e.store.SetCostModel(c)
+	e.invalidatePlans()
+}
+
+// generation returns the current catalog generation.
+func (e *Engine) generation() uint64 { return e.gen.Load() }
+
+// invalidatePlans bumps the catalog generation and empties the plan cache.
+// Outstanding Stmt handles notice the bump and re-prepare on next use.
+func (e *Engine) invalidatePlans() {
+	e.gen.Add(1)
+	if e.plans != nil {
+		e.plans.purge()
+	}
+}
+
+// PlanCacheStats reports the prepared-plan cache's counters (the zero value
+// when the cache is disabled via Config.PlanCacheCapacity < 0).
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.plans == nil {
+		return PlanCacheStats{}
+	}
+	return e.plans.stats()
 }
 
 // CacheStats reports the completion cache's counters (the zero value when
@@ -120,13 +159,16 @@ func (e *Engine) DiskCacheStats() llm.DiskCacheStats {
 func (e *Engine) Config() Config { return e.store.Config() }
 
 // RegisterTable declares a virtual LLM-backed table.
-func (e *Engine) RegisterTable(t VirtualTable) { e.store.Register(t) }
+func (e *Engine) RegisterTable(t VirtualTable) {
+	e.store.Register(t)
+	e.invalidatePlans()
+}
 
 // RegisterWorldDomain declares a virtual table mirroring a synthetic-world
 // domain's schema and descriptions (the usual setup for experiments). The
 // domain size seeds the scan planner's cardinality estimate.
 func (e *Engine) RegisterWorldDomain(d *world.Domain) {
-	e.store.Register(VirtualTable{
+	e.RegisterTable(VirtualTable{
 		Name:        d.Name,
 		Description: d.Description,
 		Schema:      d.Schema,
@@ -136,7 +178,10 @@ func (e *Engine) RegisterWorldDomain(d *world.Domain) {
 
 // AttachLocal registers a row-store database whose tables can be joined
 // with virtual tables. Virtual tables shadow local ones of the same name.
-func (e *Engine) AttachLocal(db *storage.DB) { e.local = db }
+func (e *Engine) AttachLocal(db *storage.DB) {
+	e.local = db
+	e.invalidatePlans()
+}
 
 // QueryResult bundles the rows with the execution report.
 type QueryResult struct {
@@ -150,29 +195,22 @@ type QueryResult struct {
 	Plan string
 }
 
-// Query parses, plans and executes a SELECT statement.
-func (e *Engine) Query(query string) (*QueryResult, error) {
-	sel, err := sql.ParseSelect(query)
+// Query plans and executes a SELECT (or EXPLAIN [ANALYZE] SELECT)
+// statement. Parameter placeholders ($1/?/:name) are bound from args:
+// positionally, or via one NamedArgs map for :name style. Plans are served
+// from the engine's prepared-plan cache when the normalized statement text
+// has been planned before.
+//
+// EXPLAIN returns the rendered plan as the result rows without executing;
+// EXPLAIN ANALYZE executes and returns the plan annotated with observed
+// per-operator row counts.
+func (e *Engine) Query(query string, args ...any) (*QueryResult, error) {
+	pq, err := e.prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	node, err := plan.PlanOpts(sel, e.catalog(), e.planOptions())
-	if err != nil {
-		return nil, err
-	}
-	before := e.model.Usage()
-	e.store.TakeStats() // clear any stale stats
-	res, err := exec.Execute(node, e.source())
-	if err != nil {
-		return nil, err
-	}
-	after := e.model.Usage()
-	return &QueryResult{
-		Result: res,
-		Usage:  after.Sub(before),
-		Scans:  e.store.TakeStats(),
-		Plan:   plan.Explain(node),
-	}, nil
+	qr, _, err := e.run(pq, args, false)
+	return qr, err
 }
 
 // Exec runs a DDL/DML statement (CREATE TABLE, INSERT) against the local
@@ -195,8 +233,11 @@ func (e *Engine) Exec(statement string) error {
 		for i, c := range st.Columns {
 			cols[i] = rel.Column{Name: c.Name, Type: c.Type, Key: c.PrimaryKey}
 		}
-		_, err := e.local.CreateTable(st.Name, rel.NewSchema(cols...))
-		return err
+		if _, err := e.local.CreateTable(st.Name, rel.NewSchema(cols...)); err != nil {
+			return err
+		}
+		e.invalidatePlans()
+		return nil
 
 	case *sql.InsertStmt:
 		if e.store.Has(st.Table) {
@@ -209,7 +250,13 @@ func (e *Engine) Exec(statement string) error {
 		if err != nil {
 			return err
 		}
-		return insertRows(tbl, st)
+		if err := insertRows(tbl, st); err != nil {
+			return err
+		}
+		// Inserted rows can change local-table statistics a cached plan's
+		// join ordering relied on.
+		e.invalidatePlans()
+		return nil
 
 	case *sql.SelectStmt:
 		return fmt.Errorf("core: use Query for SELECT statements")
@@ -264,43 +311,25 @@ func insertRows(tbl *storage.Table, st *sql.InsertStmt) error {
 }
 
 // QueryAnalyze executes the query and returns the result plus the plan
-// annotated with per-operator row counts (EXPLAIN ANALYZE).
-func (e *Engine) QueryAnalyze(query string) (*QueryResult, string, error) {
-	sel, err := sql.ParseSelect(query)
+// annotated with per-operator row counts (EXPLAIN ANALYZE). A bare EXPLAIN
+// statement is not executed; its analyzed-plan text is empty.
+func (e *Engine) QueryAnalyze(query string, args ...any) (*QueryResult, string, error) {
+	pq, err := e.prepare(query)
 	if err != nil {
 		return nil, "", err
 	}
-	node, err := plan.PlanOpts(sel, e.catalog(), e.planOptions())
-	if err != nil {
-		return nil, "", err
-	}
-	before := e.model.Usage()
-	e.store.TakeStats()
-	res, prof, err := exec.ExecuteAnalyzed(node, e.source())
-	if err != nil {
-		return nil, "", err
-	}
-	after := e.model.Usage()
-	qr := &QueryResult{
-		Result: res,
-		Usage:  after.Sub(before),
-		Scans:  e.store.TakeStats(),
-		Plan:   plan.Explain(node),
-	}
-	return qr, plan.ExplainWithRows(node, prof.Rows), nil
+	return e.run(pq, args, true)
 }
 
 // Explain plans the query and renders the plan without executing it.
+// Parameters appear as placeholders; an EXPLAIN [ANALYZE] prefix in the
+// statement is accepted and ignored.
 func (e *Engine) Explain(query string) (string, error) {
-	sel, err := sql.ParseSelect(query)
+	pq, err := e.prepare(query)
 	if err != nil {
 		return "", err
 	}
-	node, err := plan.PlanOpts(sel, e.catalog(), e.planOptions())
-	if err != nil {
-		return "", err
-	}
-	return plan.Explain(node), nil
+	return plan.Explain(pq.node), nil
 }
 
 // TotalUsage returns the model consumption since engine creation.

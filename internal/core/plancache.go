@@ -1,0 +1,145 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"llmsql/internal/plan"
+	"llmsql/internal/sql"
+)
+
+// DefaultPlanCacheCapacity bounds the engine's prepared-plan cache when
+// Config.PlanCacheCapacity selects the default.
+const DefaultPlanCacheCapacity = 256
+
+// stmtKind classifies what a prepared statement does when run. All entry
+// points (Query, QueryAnalyze, Explain, prepared statements) share this one
+// classification, so EXPLAIN and EXPLAIN ANALYZE behave identically
+// everywhere.
+type stmtKind int
+
+const (
+	kindSelect stmtKind = iota
+	kindExplain
+	kindExplainAnalyze
+)
+
+// preparedQuery owns the parsed AST and planned tree of one SELECT (or
+// EXPLAIN [ANALYZE] SELECT). The plan is immutable after planning: execution
+// binds parameters by copying expr-bearing nodes (plan.Bind), never by
+// mutation, so one preparedQuery may serve concurrent executions and stay
+// cached across queries.
+type preparedQuery struct {
+	kind stmtKind
+	sel  *sql.SelectStmt
+	node plan.Node
+	// named is true when the statement uses :name parameters; nparams is the
+	// number of positional parameters otherwise.
+	named   bool
+	nparams int
+	params  []*sql.Param
+	// gen is the engine's catalog generation at planning time; a bumped
+	// generation (new table registered, cost model changed) invalidates the
+	// plan.
+	gen uint64
+}
+
+// PlanCacheStats reports the prepared-plan cache's effectiveness.
+type PlanCacheStats struct {
+	// Hits counts lookups answered with a cached plan (no re-parse/re-plan).
+	Hits int64
+	// Misses counts lookups that had to parse and plan.
+	Misses int64
+	// Entries is the current number of cached plans.
+	Entries int
+	// Evictions counts plans dropped by the LRU bound or invalidation.
+	Evictions int64
+}
+
+// planCache is a bounded LRU of prepared plans keyed on normalized SQL text
+// (sql.Normalize), so spelling differences — case, whitespace, comments,
+// ?-vs-$n — share one entry.
+type planCache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	lru       *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type planCacheEntry struct {
+	key string
+	pq  *preparedQuery
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached plan for key when present and planned at the
+// current generation; stale entries are dropped.
+func (c *planCache) get(key string, gen uint64) *preparedQuery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	ent := el.Value.(*planCacheEntry)
+	if ent.pq.gen != gen {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.evictions++
+		c.misses++
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return ent.pq
+}
+
+// put stores a plan, evicting the least recently used entry past capacity.
+func (c *planCache) put(key string, pq *preparedQuery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planCacheEntry).pq = pq
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&planCacheEntry{key: key, pq: pq})
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*planCacheEntry).key)
+		c.evictions++
+	}
+}
+
+// purge drops every entry (catalog or cost-model change).
+func (c *planCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.lru.Len()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element, c.capacity)
+	c.evictions += int64(n)
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   c.lru.Len(),
+		Evictions: c.evictions,
+	}
+}

@@ -60,6 +60,16 @@ func (c *compiler) compile(e sql.Expr) (*Compiled, error) {
 		v := x.Value
 		return &Compiled{Type: v.Type(), Eval: func(rel.Row) (rel.Value, error) { return v, nil }}, nil
 
+	case *sql.Param:
+		// Parameters type-check as TypeUnknown (like bare NULL) so plans can
+		// be validated and cached before values are bound; evaluating an
+		// unbound parameter is an error. Execution never reaches this
+		// evaluator: plan.Bind substitutes typed literals first.
+		p := x
+		return &Compiled{Type: rel.TypeUnknown, Eval: func(rel.Row) (rel.Value, error) {
+			return rel.Null(), fmt.Errorf("expr: unbound parameter %s", p)
+		}}, nil
+
 	case *sql.ColumnRef:
 		idx, err := c.schema.Resolve(x.Table, x.Name)
 		if err != nil {

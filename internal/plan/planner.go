@@ -295,6 +295,11 @@ func positionalRefs(s rel.Schema, n int) []sql.Expr {
 }
 
 func constInt(e sql.Expr) (int64, error) {
+	if sql.HasParams(e) {
+		// LIMIT/OFFSET are folded into the plan itself, so a parameter here
+		// cannot be bound at execution time.
+		return 0, fmt.Errorf("parameters are not supported in LIMIT/OFFSET (the value is folded into the plan)")
+	}
 	c, err := expr.Compile(e, rel.Schema{})
 	if err != nil {
 		return 0, err
@@ -601,6 +606,9 @@ func (rw *aggRewriter) rewrite(e sql.Expr) (sql.Expr, error) {
 		return nil, fmt.Errorf("plan: column %q must appear in GROUP BY or inside an aggregate", refName(x))
 
 	case *sql.Literal:
+		return x, nil
+
+	case *sql.Param:
 		return x, nil
 
 	case *sql.BinaryExpr:

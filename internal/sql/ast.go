@@ -1,6 +1,8 @@
 package sql
 
 import (
+	"fmt"
+
 	"llmsql/internal/rel"
 )
 
@@ -69,9 +71,11 @@ type InsertStmt struct {
 
 func (*InsertStmt) stmt() {}
 
-// ExplainStmt wraps a SELECT for plan display.
+// ExplainStmt wraps a SELECT for plan display. Analyze marks EXPLAIN
+// ANALYZE: execute the query and annotate the plan with observed row counts.
 type ExplainStmt struct {
-	Stmt *SelectStmt
+	Stmt    *SelectStmt
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}
@@ -208,6 +212,25 @@ type Literal struct {
 }
 
 func (*Literal) expr() {}
+
+// Param is a query parameter placeholder: $n (Ordinal > 0, 1-based) or
+// :name (Name set, lower-cased). `?` placeholders are auto-numbered by the
+// parser, so they surface as ordinals. Params are bound to literal values
+// at execution time (see BindExpr).
+type Param struct {
+	Ordinal int
+	Name    string
+}
+
+func (*Param) expr() {}
+
+// String renders the placeholder as it deparses.
+func (p *Param) String() string {
+	if p.Name != "" {
+		return ":" + p.Name
+	}
+	return fmt.Sprintf("$%d", p.Ordinal)
+}
 
 // BinaryExpr applies a binary operator.
 type BinaryExpr struct {
@@ -371,6 +394,70 @@ func ColumnRefs(e Expr) []*ColumnRef {
 		return true
 	})
 	return refs
+}
+
+// WalkStmtExprs visits every expression appearing anywhere in a statement,
+// descending into subqueries (derived tables, IN (SELECT ...), join ON
+// clauses). Unlike WalkExpr — which stays within one scope so callers like
+// ColumnRefs see only names resolvable there — this walk is exhaustive; it
+// is what parameter collection and binding build on.
+func WalkStmtExprs(s Statement, visit func(Expr) bool) {
+	switch st := s.(type) {
+	case *SelectStmt:
+		walkSelectExprs(st, visit)
+	case *ExplainStmt:
+		walkSelectExprs(st.Stmt, visit)
+	case *InsertStmt:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				walkExprDeep(e, visit)
+			}
+		}
+	}
+}
+
+func walkSelectExprs(s *SelectStmt, visit func(Expr) bool) {
+	if s == nil {
+		return
+	}
+	for _, it := range s.Items {
+		walkExprDeep(it.Expr, visit)
+	}
+	walkTableExprs(s.From, visit)
+	walkExprDeep(s.Where, visit)
+	for _, g := range s.GroupBy {
+		walkExprDeep(g, visit)
+	}
+	walkExprDeep(s.Having, visit)
+	for _, o := range s.OrderBy {
+		walkExprDeep(o.Expr, visit)
+	}
+	walkExprDeep(s.Limit, visit)
+	walkExprDeep(s.Offset, visit)
+}
+
+func walkTableExprs(t TableExpr, visit func(Expr) bool) {
+	switch tt := t.(type) {
+	case *JoinExpr:
+		walkTableExprs(tt.Left, visit)
+		walkTableExprs(tt.Right, visit)
+		walkExprDeep(tt.On, visit)
+	case *SubqueryRef:
+		walkSelectExprs(tt.Select, visit)
+	}
+}
+
+// walkExprDeep is WalkExpr plus descent into IN (SELECT ...) subqueries.
+func walkExprDeep(e Expr, visit func(Expr) bool) {
+	WalkExpr(e, func(x Expr) bool {
+		if !visit(x) {
+			return false
+		}
+		if in, ok := x.(*InExpr); ok && in.Subquery != nil {
+			walkSelectExprs(in.Subquery, visit)
+		}
+		return true
+	})
 }
 
 // SplitConjuncts flattens a tree of ANDs into its conjunct list.

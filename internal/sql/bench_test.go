@@ -1,0 +1,86 @@
+package sql
+
+import (
+	"testing"
+)
+
+// benchQuery exercises most of the token vocabulary: keywords, quoted
+// identifiers, strings, numbers, operators, comments and parameters. It
+// contains no doubled-quote escapes — those are the lexer's only allocating
+// path (unescaping cannot alias the source) and are pinned separately.
+const benchQuery = `SELECT c.name, c.capital, COUNT(*) AS n, SUM(c.population) * 1.5
+FROM country AS c JOIN city ON c.capital = city.name -- inline comment
+WHERE c.population >= $1 AND c.region <> 'Europe' AND "Weird Name" IS NOT NULL
+GROUP BY c.name, c.capital HAVING COUNT(*) > $2
+ORDER BY n DESC, c.name LIMIT 10`
+
+// TestTokenizeZeroAlloc pins the tentpole invariant: steady-state
+// tokenization performs no heap allocation. Tokens alias the source string;
+// keyword classification and symbol scanning stay on the stack.
+func TestTokenizeZeroAlloc(t *testing.T) {
+	var lx Lexer
+	allocs := testing.AllocsPerRun(100, func() {
+		lx.Reset(benchQuery)
+		for {
+			tok, err := lx.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok.Kind == TokEOF {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("tokenization allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestTokenizeEscapeAllocs pins the slow path: a doubled-quote escape must
+// materialize the unescaped text (it cannot alias the source), and that is
+// the only allocation.
+func TestTokenizeEscapeAllocs(t *testing.T) {
+	var lx Lexer
+	allocs := testing.AllocsPerRun(100, func() {
+		lx.Reset(`SELECT 'Euro''pe'`)
+		for {
+			tok, err := lx.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok.Kind == TokEOF {
+				break
+			}
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("escaped-string tokenization allocated %.1f times per run, want <= 1", allocs)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	var lx Lexer
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchQuery)))
+	for i := 0; i < b.N; i++ {
+		lx.Reset(benchQuery)
+		for {
+			tok, err := lx.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == TokEOF {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

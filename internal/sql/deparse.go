@@ -102,6 +102,9 @@ func DeparseStmt(s Statement) string {
 		}
 	case *ExplainStmt:
 		b.WriteString("EXPLAIN ")
+		if st.Analyze {
+			b.WriteString("ANALYZE ")
+		}
 		deparseSelect(&b, st.Stmt)
 	}
 	return b.String()
@@ -209,6 +212,8 @@ func deparseExpr(b *strings.Builder, e Expr) {
 	switch x := e.(type) {
 	case *Literal:
 		b.WriteString(x.Value.SQLLiteral())
+	case *Param:
+		b.WriteString(x.String())
 	case *ColumnRef:
 		if x.Table != "" {
 			deparseIdent(b, x.Table)

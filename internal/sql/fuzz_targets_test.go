@@ -1,6 +1,10 @@
 package sql
 
-import "testing"
+import (
+	"testing"
+
+	"llmsql/internal/rel"
+)
 
 // Native go-fuzz targets (run by the CI fuzz-smoke job with
 // `go test -fuzz=FuzzX -fuzztime=30s`; without -fuzz they execute the seed
@@ -62,4 +66,118 @@ func FuzzParseSelect(f *testing.F) {
 			t.Fatalf("round trip unstable: %q -> %q -> %q", input, text, again)
 		}
 	})
+}
+
+// FuzzParseParams stresses the parameterized front end: arbitrary inputs
+// must never panic the parser, the normalizer or the binder, and any
+// accepted statement must round-trip through Deparse, normalize to a
+// fixed point, collect a consistent parameter set, and bind successfully
+// with exactly that set.
+func FuzzParseParams(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT name FROM country WHERE population > $1",
+		"SELECT name FROM country WHERE population > ? AND continent = ?",
+		"SELECT name FROM country WHERE population > :min AND continent = :cont",
+		"SELECT * FROM t WHERE a IN ($1, $2, $1)",
+		"SELECT CASE WHEN a > :x THEN :y ELSE :x END FROM t",
+		"EXPLAIN SELECT name FROM country WHERE population > $1",
+		"EXPLAIN ANALYZE SELECT 1 WHERE $1 = $2",
+		"SELECT \"Weird Name\" FROM \"Quoted Table\" WHERE x = $1 -- comment",
+		"SELECT a FROM t WHERE b = $1 AND c IN (SELECT d FROM u WHERE e = $2)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Normalization of any parseable input must succeed and reach a
+		// fixed point (it only lexes, so parse success implies lex success).
+		norm, err := Normalize(input)
+		if err != nil {
+			t.Fatalf("parseable input does not normalize: %q: %v", input, err)
+		}
+		if norm2, err := Normalize(norm); err != nil || norm2 != norm {
+			t.Fatalf("normalize not a fixed point: %q -> %q -> %q (%v)", input, norm, norm2, err)
+		}
+		// Deparse must reparse to an identical spelling with an identical
+		// parameter set.
+		text := DeparseStmt(stmt)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("deparse of accepted input does not reparse: %q -> %q: %v", input, text, err)
+		}
+		if again := DeparseStmt(back); again != text {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, text, again)
+		}
+		params := CollectParams(stmt)
+		if len(params) != len(CollectParams(back)) {
+			t.Fatalf("parameter set changed across round trip: %q", input)
+		}
+		// Binding the exact parameter set must succeed and leave no
+		// placeholder behind.
+		if len(params) == 0 {
+			return
+		}
+		var b *Bindings
+		if params[0].Name != "" {
+			vals := map[string]rel.Value{}
+			for _, p := range params {
+				vals[p.Name] = rel.Int(1)
+			}
+			if err := ValidateBindings(stmt, 0, vals); err != nil {
+				t.Fatalf("exact named bindings rejected: %q: %v", input, err)
+			}
+			b = NewNamed(vals)
+		} else {
+			max := 0
+			for _, p := range params {
+				if p.Ordinal > max {
+					max = p.Ordinal
+				}
+			}
+			if max > 1024 {
+				// Don't materialize absurd binding sets for inputs like $1e9;
+				// exact validation rejects the gap anyway.
+				return
+			}
+			vals := make([]rel.Value, max)
+			for i := range vals {
+				vals[i] = rel.Int(1)
+			}
+			if err := ValidateBindings(stmt, len(vals), nil); err != nil {
+				// Sparse ordinals ($2 without $1) legitimately fail exact
+				// validation; that is the contract, not a bug.
+				return
+			}
+			b = NewPositional(vals)
+		}
+		bound := mustBindStmt(t, stmt, b)
+		if StmtHasParams(bound) {
+			t.Fatalf("bound statement still has parameters: %q", input)
+		}
+	})
+}
+
+// mustBindStmt binds every expression position of a statement, failing the
+// test on error.
+func mustBindStmt(t *testing.T, s Statement, b *Bindings) Statement {
+	t.Helper()
+	switch st := s.(type) {
+	case *SelectStmt:
+		out, err := BindSelect(st, b)
+		if err != nil {
+			t.Fatalf("bind failed: %v", err)
+		}
+		return out
+	case *ExplainStmt:
+		out, err := BindSelect(st.Stmt, b)
+		if err != nil {
+			t.Fatalf("bind failed: %v", err)
+		}
+		return &ExplainStmt{Stmt: out, Analyze: st.Analyze}
+	default:
+		return s
+	}
 }

@@ -82,7 +82,17 @@ func genExpr(rng *rand.Rand, depth int) Expr {
 }
 
 func genLeaf(rng *rand.Rand) Expr {
-	switch rng.Intn(6) {
+	switch rng.Intn(8) {
+	case 6:
+		// Positional parameters ($n only: the parser rejects mixed styles,
+		// so a generator drawing styles independently would trip on its own
+		// output, not on a deparse bug).
+		return &Param{Ordinal: 1 + rng.Intn(3)}
+	case 7:
+		// Column names that force quoting: spaces, reserved words, embedded
+		// double quotes. Lowercase, since the parser canonicalizes case.
+		names := []string{"weird name", "select", "group", `o"brien`, "from", "9lives"}
+		return &ColumnRef{Name: names[rng.Intn(len(names))]}
 	case 0:
 		return &Literal{Value: rel.Int(int64(rng.Intn(2000) - 1000))}
 	case 1:

@@ -1,7 +1,7 @@
-// Package sql implements the SQL front end: a hand-written lexer, the
-// abstract syntax tree, a recursive-descent parser for the SELECT dialect the
-// engine supports, and a deparser that renders AST fragments back to SQL text
-// (used both for EXPLAIN output and for verbalising predicates into LLM
+// Package sql implements the SQL front end: a hand-written zero-copy lexer,
+// the abstract syntax tree, a recursive-descent parser for the SELECT dialect
+// the engine supports, and a deparser that renders AST fragments back to SQL
+// text (used both for EXPLAIN output and for verbalising predicates into LLM
 // prompts).
 package sql
 
@@ -18,27 +18,38 @@ type TokenKind int
 const (
 	// TokEOF marks the end of input.
 	TokEOF TokenKind = iota
-	// TokIdent is an identifier or keyword (keywords are resolved by the
-	// parser; Upper holds the upper-cased spelling for keyword matching).
+	// TokIdent is a bare identifier or keyword (keywords are resolved by
+	// the parser with a case-insensitive compare; see KeywordEq).
 	TokIdent
+	// TokQuotedIdent is a double-quoted identifier with quotes removed and
+	// doubled quotes collapsed. Quoted identifiers never match keywords.
+	TokQuotedIdent
 	// TokString is a single-quoted string literal with quotes removed and
 	// doubled quotes collapsed.
 	TokString
 	// TokNumber is an integer or decimal literal.
 	TokNumber
-	// TokSymbol is punctuation or an operator: ( ) , . * + - / % = <> != < <= > >= ||
+	// TokSymbol is punctuation or an operator: ( ) , . * + - / % = <> != < <= > >= || ;
 	TokSymbol
+	// TokParam is a query parameter: $1 (ordinal), ? (auto-numbered), or
+	// :name (named). Text holds the raw spelling including the sigil.
+	TokParam
 )
 
-// Token is one lexical unit.
+// Token is one lexical unit. In steady state Text is a slice into the source
+// string (zero-copy); only string literals and quoted identifiers containing
+// doubled quotes materialize an unescaped copy.
 type Token struct {
 	Kind TokenKind
-	// Text is the literal text (for TokString, the unescaped contents).
+	// Text is the literal text (for TokString/TokQuotedIdent, the unescaped
+	// contents; for TokParam, the raw spelling including the sigil).
 	Text string
-	// Upper caches strings.ToUpper(Text) for identifiers.
-	Upper string
-	// Pos is the byte offset of the token start, used in error messages.
+	// Pos is the byte offset of the token start.
 	Pos int
+	// Line is the 1-based line of the token start.
+	Line int
+	// Col is the 1-based byte column of the token start within its line.
+	Col int
 }
 
 func (t Token) String() string {
@@ -47,22 +58,84 @@ func (t Token) String() string {
 		return "<eof>"
 	case TokString:
 		return "'" + t.Text + "'"
+	case TokQuotedIdent:
+		return `"` + t.Text + `"`
 	default:
 		return t.Text
 	}
 }
 
-// Lexer turns SQL text into tokens.
+// KeywordEq reports whether text spells the keyword kw, ignoring ASCII case.
+// kw must be the upper-case spelling. Unlike strings.ToUpper-then-compare it
+// never allocates.
+func KeywordEq(text, kw string) bool {
+	if len(text) != len(kw) {
+		return false
+	}
+	for i := 0; i < len(kw); i++ {
+		c := text[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxKeywordLen bounds the upper-casing stack buffer of keywordSet lookups;
+// no reserved word is longer.
+const maxKeywordLen = 16
+
+// lookupKeyword reports whether text is in set (a map keyed by upper-case
+// spellings). The upper-cased probe lives in a stack buffer, so the map index
+// does not allocate.
+func lookupKeyword(set map[string]bool, text string) bool {
+	if len(text) > maxKeywordLen {
+		return false
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return set[string(buf[:len(text)])]
+}
+
+// Lexer turns SQL text into tokens incrementally. The zero value is not
+// usable; construct with NewLexer or recycle with Reset.
 type Lexer struct {
 	src string
 	pos int
+	// line is the 1-based line number at pos; lineStart is the byte offset
+	// where that line begins. Together they derive Token.Line/Col without a
+	// per-token scan.
+	line      int
+	lineStart int
 }
 
 // NewLexer returns a lexer over src.
-func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+func NewLexer(src string) *Lexer {
+	l := &Lexer{}
+	l.Reset(src)
+	return l
+}
+
+// Reset points the lexer at new input, reusing the allocation.
+func (l *Lexer) Reset(src string) {
+	l.src = src
+	l.pos = 0
+	l.line = 1
+	l.lineStart = 0
+}
 
 // Tokenize scans the whole input, returning the token stream terminated by a
-// TokEOF token.
+// TokEOF token. The parser pulls tokens on demand instead; this helper serves
+// tests, tools and Normalize.
 func Tokenize(src string) ([]Token, error) {
 	lx := NewLexer(src)
 	var out []Token
@@ -78,13 +151,19 @@ func Tokenize(src string) ([]Token, error) {
 	}
 }
 
+// tok builds a token whose text is the source slice [start:l.pos).
+func (l *Lexer) tok(kind TokenKind, start, line, col int) Token {
+	return Token{Kind: kind, Text: l.src[start:l.pos], Pos: start, Line: line, Col: col}
+}
+
 // Next returns the next token.
 func (l *Lexer) Next() (Token, error) {
 	l.skipSpaceAndComments()
-	if l.pos >= len(l.src) {
-		return Token{Kind: TokEOF, Pos: l.pos}, nil
-	}
 	start := l.pos
+	line, col := l.line, start-l.lineStart+1
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start, Line: line, Col: col}, nil
+	}
 	c := l.src[l.pos]
 	// Identifiers are scanned rune-wise: a multi-byte letter is one
 	// character, and an invalid UTF-8 byte is never part of an identifier
@@ -93,22 +172,27 @@ func (l *Lexer) Next() (Token, error) {
 	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
 	switch {
 	case isIdentStart(r):
-		return l.lexIdent(start), nil
+		l.scanIdent()
+		return l.tok(TokIdent, start, line, col), nil
 	case c == '"':
-		return l.lexQuotedIdent(start)
+		return l.lexQuoted(start, line, col, '"', TokQuotedIdent, "quoted identifier")
 	case c >= '0' && c <= '9':
-		return l.lexNumber(start), nil
+		l.scanNumber(start)
+		return l.tok(TokNumber, start, line, col), nil
 	case c == '.':
 		// ".5" is a number; "." alone is a symbol.
 		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
-			return l.lexNumber(start), nil
+			l.scanNumber(start)
+			return l.tok(TokNumber, start, line, col), nil
 		}
 		l.pos++
-		return Token{Kind: TokSymbol, Text: ".", Pos: start}, nil
+		return l.tok(TokSymbol, start, line, col), nil
 	case c == '\'':
-		return l.lexString(start)
+		return l.lexQuoted(start, line, col, '\'', TokString, "string literal")
+	case c == '$' || c == '?' || c == ':':
+		return l.lexParam(start, line, col)
 	default:
-		return l.lexSymbol(start)
+		return l.lexSymbol(start, line, col)
 	}
 }
 
@@ -116,8 +200,12 @@ func (l *Lexer) skipSpaceAndComments() {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		switch {
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
+		case c == '\n':
+			l.pos++
+			l.line++
+			l.lineStart = l.pos
 		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
 			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
 				l.pos++
@@ -125,6 +213,10 @@ func (l *Lexer) skipSpaceAndComments() {
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
 			l.pos += 2
 			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+					l.lineStart = l.pos + 1
+				}
 				l.pos++
 			}
 			if l.pos+1 < len(l.src) {
@@ -148,7 +240,8 @@ func isIdentPart(r rune) bool {
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
-func (l *Lexer) lexIdent(start int) Token {
+// scanIdent advances past an identifier (the caller consumed nothing yet).
+func (l *Lexer) scanIdent() {
 	for l.pos < len(l.src) {
 		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
 		if (r == utf8.RuneError && size == 1) || !isIdentPart(r) {
@@ -156,32 +249,42 @@ func (l *Lexer) lexIdent(start int) Token {
 		}
 		l.pos += size
 	}
-	text := l.src[start:l.pos]
-	return Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: start}
 }
 
-func (l *Lexer) lexQuotedIdent(start int) (Token, error) {
+// lexQuoted scans a quote-delimited token ('...' string or "..." identifier).
+// The fast path — no doubled quotes — returns a slice into the source; only
+// escaped content materializes an unescaped copy.
+func (l *Lexer) lexQuoted(start, line, col int, quote byte, kind TokenKind, what string) (Token, error) {
 	l.pos++ // opening quote
-	var b strings.Builder
+	body := l.pos
+	escaped := false
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
-		if c == '"' {
-			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
-				b.WriteByte('"')
+		if c == quote {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				escaped = true
 				l.pos += 2
 				continue
 			}
+			text := l.src[body:l.pos]
+			if escaped {
+				q := string(quote)
+				text = strings.ReplaceAll(text, q+q, q)
+			}
 			l.pos++
-			text := b.String()
-			return Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+			return Token{Kind: kind, Text: text, Pos: start, Line: line, Col: col}, nil
 		}
-		b.WriteByte(c)
+		if c == '\n' {
+			l.line++
+			l.lineStart = l.pos + 1
+		}
 		l.pos++
 	}
-	return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+	return Token{}, fmt.Errorf("sql: unterminated %s at %d:%d", what, line, col)
 }
 
-func (l *Lexer) lexNumber(start int) Token {
+// scanNumber advances past a numeric literal.
+func (l *Lexer) scanNumber(start int) {
 	seenDot, seenExp := false, false
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
@@ -201,51 +304,63 @@ func (l *Lexer) lexNumber(start int) Token {
 				seenExp = true
 				l.pos = next + 1
 			} else {
-				return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+				return
 			}
 		default:
-			return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+			return
 		}
 	}
-	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
 }
 
-func (l *Lexer) lexString(start int) (Token, error) {
-	l.pos++ // opening quote
-	var b strings.Builder
-	for l.pos < len(l.src) {
-		c := l.src[l.pos]
-		if c == '\'' {
-			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
-				b.WriteByte('\'')
-				l.pos += 2
-				continue
-			}
-			l.pos++
-			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
-		}
-		b.WriteByte(c)
+// lexParam scans $1, ?, or :name.
+func (l *Lexer) lexParam(start, line, col int) (Token, error) {
+	switch l.src[l.pos] {
+	case '?':
 		l.pos++
+		return l.tok(TokParam, start, line, col), nil
+	case '$':
+		l.pos++
+		digits := l.pos
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == digits {
+			return Token{}, fmt.Errorf("sql: expected ordinal after '$' at %d:%d", line, col)
+		}
+		return l.tok(TokParam, start, line, col), nil
+	default: // ':'
+		l.pos++
+		nameStart := l.pos
+		for l.pos < len(l.src) {
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if (r == utf8.RuneError && size == 1) || !isIdentPart(r) {
+				break
+			}
+			l.pos += size
+		}
+		if l.pos == nameStart {
+			return Token{}, fmt.Errorf("sql: expected name after ':' at %d:%d", line, col)
+		}
+		return l.tok(TokParam, start, line, col), nil
 	}
-	return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
 }
 
-// twoCharSymbols lists operators spelled with two characters; order matters
-// only in that they are checked before single characters.
-var twoCharSymbols = []string{"<>", "!=", "<=", ">=", "||"}
-
-func (l *Lexer) lexSymbol(start int) (Token, error) {
-	rest := l.src[l.pos:]
-	for _, s := range twoCharSymbols {
-		if strings.HasPrefix(rest, s) {
-			l.pos += len(s)
-			return Token{Kind: TokSymbol, Text: s, Pos: start}, nil
+func (l *Lexer) lexSymbol(start, line, col int) (Token, error) {
+	c := l.src[l.pos]
+	if l.pos+1 < len(l.src) {
+		n := l.src[l.pos+1]
+		if (c == '<' && (n == '>' || n == '=')) ||
+			(c == '!' && n == '=') ||
+			(c == '>' && n == '=') ||
+			(c == '|' && n == '|') {
+			l.pos += 2
+			return l.tok(TokSymbol, start, line, col), nil
 		}
 	}
-	switch rest[0] {
+	switch c {
 	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', ';':
 		l.pos++
-		return Token{Kind: TokSymbol, Text: string(rest[0]), Pos: start}, nil
+		return l.tok(TokSymbol, start, line, col), nil
 	}
-	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", rest[0], start)
+	return Token{}, fmt.Errorf("sql: unexpected character %q at %d:%d", c, line, col)
 }

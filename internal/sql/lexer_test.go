@@ -47,7 +47,7 @@ func TestTokenizeQuotedIdent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if toks[0].Kind != TokIdent || toks[0].Text != `Weird "Name"` {
+	if toks[0].Kind != TokQuotedIdent || toks[0].Text != `Weird "Name"` {
 		t.Fatalf("quoted ident: %+v", toks[0])
 	}
 	if _, err := Tokenize(`"open`); err == nil {

@@ -1,0 +1,77 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Normalize renders src as a canonical single-line spelling suitable as a
+// plan-cache key: whitespace and comments collapse to single separators,
+// bare identifiers and keywords lower-case, string literals and quoted
+// identifiers re-quote with case preserved, `?` placeholders number as $n,
+// and trailing semicolons drop. Two statements normalize equal exactly when
+// they parse to identical ASTs modulo parameter spelling, so a cache keyed
+// on the normalized text can safely share plans.
+//
+// Normalization is lex-only — it never parses — so it costs one token scan.
+// Input that does not lex returns an error (such statements can never have
+// a plan to share).
+func Normalize(src string) (string, error) {
+	lx := NewLexer(src)
+	var b strings.Builder
+	b.Grow(len(src))
+	q := 0
+	first := true
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return "", err
+		}
+		if t.Kind == TokEOF {
+			return b.String(), nil
+		}
+		if t.Kind == TokSymbol && t.Text == ";" {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		switch t.Kind {
+		case TokIdent:
+			writeLowerASCII(&b, t.Text)
+		case TokQuotedIdent:
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(t.Text, `"`, `""`))
+			b.WriteByte('"')
+		case TokString:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.Text, `'`, `''`))
+			b.WriteByte('\'')
+		case TokParam:
+			if t.Text == "?" {
+				q++
+				b.WriteByte('$')
+				b.WriteString(strconv.Itoa(q))
+			} else if t.Text[0] == ':' {
+				b.WriteByte(':')
+				writeLowerASCII(&b, t.Text[1:])
+			} else {
+				b.WriteString(t.Text)
+			}
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+}
+
+// writeLowerASCII writes s lower-casing ASCII letters without allocating.
+func writeLowerASCII(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+}

@@ -8,26 +8,41 @@ import (
 	"llmsql/internal/rel"
 )
 
-// Parser is a recursive-descent parser over the token stream.
+// Parser is a recursive-descent parser pulling tokens from the lexer on
+// demand through a small fixed lookahead buffer (the grammar needs at most
+// three tokens of lookahead, for "t.*" projections).
 type Parser struct {
-	toks []Token
-	pos  int
+	lx  Lexer
+	buf [3]Token
+	n   int // buffered lookahead tokens
+	// lexErr records the first lexer error; from then on the stream is a
+	// synthesized EOF at eofTok and the error surfaces when the parser
+	// reaches it.
+	lexErr error
+	eofTok Token
+	// Parameter bookkeeping: `?` placeholders are auto-numbered in textual
+	// order, and the three styles must not be mixed in one statement.
+	qCount                   int
+	sawQ, sawDollar, sawName bool
+}
+
+// newParser returns a parser over src.
+func newParser(src string) *Parser {
+	p := &Parser{}
+	p.lx.Reset(src)
+	return p
 }
 
 // Parse parses a single SQL statement (trailing semicolon optional).
 func Parse(src string) (Statement, error) {
-	toks, err := Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &Parser{toks: toks}
+	p := newParser(src)
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err
 	}
 	p.acceptSymbol(";")
-	if !p.atEOF() {
-		return nil, p.errorf("unexpected trailing input %q", p.peek().String())
+	if err := p.expectEnd(); err != nil {
+		return nil, err
 	}
 	return stmt, nil
 }
@@ -47,41 +62,94 @@ func ParseSelect(src string) (*SelectStmt, error) {
 
 // ParseExpr parses a standalone scalar expression (used by tests and tools).
 func ParseExpr(src string) (Expr, error) {
-	toks, err := Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &Parser{toks: toks}
+	p := newParser(src)
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
 	}
-	if !p.atEOF() {
-		return nil, p.errorf("unexpected trailing input %q", p.peek().String())
+	if err := p.expectEnd(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
 
 // ---- token helpers ----
 
-func (p *Parser) peek() Token { return p.toks[p.pos] }
+// fill buffers tokens until index i is available. After a lexer error the
+// stream continues with synthesized EOF tokens at the error position.
+func (p *Parser) fill(i int) {
+	for p.n <= i {
+		if p.lexErr != nil {
+			p.buf[p.n] = p.eofTok
+			p.n++
+			continue
+		}
+		t, err := p.lx.Next()
+		if err != nil {
+			p.lexErr = err
+			p.eofTok = Token{
+				Kind: TokEOF,
+				Pos:  p.lx.pos,
+				Line: p.lx.line,
+				Col:  p.lx.pos - p.lx.lineStart + 1,
+			}
+			continue
+		}
+		p.buf[p.n] = t
+		p.n++
+	}
+}
+
+func (p *Parser) peek() Token {
+	p.fill(0)
+	return p.buf[0]
+}
+
+// peekAt returns the i-th lookahead token (0 = next).
+func (p *Parser) peekAt(i int) Token {
+	p.fill(i)
+	return p.buf[i]
+}
+
 func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
 func (p *Parser) advance() Token {
-	t := p.toks[p.pos]
+	t := p.peek()
 	if t.Kind != TokEOF {
-		p.pos++
+		copy(p.buf[:], p.buf[1:p.n])
+		p.n--
 	}
 	return t
 }
 
-func (p *Parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+// expectEnd verifies the statement consumed the whole input, surfacing a
+// pending lexer error hidden behind the synthesized EOF.
+func (p *Parser) expectEnd() error {
+	if !p.atEOF() {
+		return p.errorf("unexpected trailing input %q", p.peek().String())
+	}
+	if p.lexErr != nil {
+		return p.lexErr
+	}
+	return nil
 }
 
-// peekKeyword reports whether the next token is the given keyword.
+// errorf formats a parse error at the current token's line:column. When the
+// parser is stuck on the EOF a lexer error synthesized, the lexer error (at
+// the same position) is the real diagnosis and wins.
+func (p *Parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	if t.Kind == TokEOF && p.lexErr != nil {
+		return p.lexErr
+	}
+	return fmt.Errorf("sql: parse error at %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+// peekKeyword reports whether the next token is the given keyword (bare
+// identifiers only — quoted identifiers never match keywords).
 func (p *Parser) peekKeyword(kw string) bool {
 	t := p.peek()
-	return t.Kind == TokIdent && t.Upper == kw
+	return t.Kind == TokIdent && KeywordEq(t.Text, kw)
 }
 
 // acceptKeyword consumes the keyword if present.
@@ -131,9 +199,20 @@ var reservedAfterTable = map[string]bool{
 	"VALUES": true,
 }
 
+// isReserved reports whether t is a bare identifier spelling a reserved
+// word. Quoted identifiers are never reserved.
+func isReserved(t Token) bool {
+	return t.Kind == TokIdent && lookupKeyword(reservedAfterTable, t.Text)
+}
+
+// isIdentTok reports whether t can serve as an identifier.
+func isIdentTok(t Token) bool {
+	return t.Kind == TokIdent || t.Kind == TokQuotedIdent
+}
+
 func (p *Parser) parseIdent() (string, error) {
 	t := p.peek()
-	if t.Kind != TokIdent {
+	if !isIdentTok(t) {
 		return "", p.errorf("expected identifier, found %q", t.String())
 	}
 	p.advance()
@@ -152,11 +231,12 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case p.peekKeyword("EXPLAIN"):
 		p.advance()
+		analyze := p.acceptKeyword("ANALYZE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: sel}, nil
+		return &ExplainStmt{Stmt: sel, Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected SELECT, CREATE, INSERT or EXPLAIN, found %q", p.peek().String())
 	}
@@ -270,9 +350,9 @@ func (p *Parser) parseSelectItem() (SelectItem, error) {
 		return SelectItem{Star: true}, nil
 	}
 	// "t.*"
-	if p.peek().Kind == TokIdent && p.pos+2 < len(p.toks) &&
-		p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
-		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+	if isIdentTok(p.peek()) &&
+		p.peekAt(1).Kind == TokSymbol && p.peekAt(1).Text == "." &&
+		p.peekAt(2).Kind == TokSymbol && p.peekAt(2).Text == "*" {
 		tbl := p.advance().Text
 		p.advance() // .
 		p.advance() // *
@@ -289,7 +369,7 @@ func (p *Parser) parseSelectItem() (SelectItem, error) {
 			return SelectItem{}, err
 		}
 		item.Alias = alias
-	} else if t := p.peek(); t.Kind == TokIdent && !reservedAfterTable[t.Upper] {
+	} else if t := p.peek(); isIdentTok(t) && !isReserved(t) {
 		p.advance()
 		item.Alias = t.Text
 	}
@@ -388,7 +468,7 @@ func (p *Parser) parseAlias(required bool) (string, error) {
 		a, err := p.parseIdent()
 		return strings.ToLower(a), err
 	}
-	if t := p.peek(); t.Kind == TokIdent && !reservedAfterTable[t.Upper] {
+	if t := p.peek(); isIdentTok(t) && !isReserved(t) {
 		p.advance()
 		return strings.ToLower(t.Text), nil
 	}
@@ -626,11 +706,9 @@ func (p *Parser) parseComparison() (Expr, error) {
 // predicate (IN/BETWEEN/LIKE), distinguishing "a NOT IN ..." from boolean
 // "x AND NOT y".
 func (p *Parser) lookaheadPostfix() bool {
-	if p.pos+1 >= len(p.toks) {
-		return false
-	}
-	t := p.toks[p.pos+1]
-	return t.Kind == TokIdent && (t.Upper == "IN" || t.Upper == "BETWEEN" || t.Upper == "LIKE")
+	t := p.peekAt(1)
+	return t.Kind == TokIdent &&
+		(KeywordEq(t.Text, "IN") || KeywordEq(t.Text, "BETWEEN") || KeywordEq(t.Text, "LIKE"))
 }
 
 func (p *Parser) peekComparisonOp() (BinaryOp, bool) {
@@ -815,6 +893,9 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		p.advance()
 		return &Literal{Value: rel.Text(t.Text)}, nil
 
+	case TokParam:
+		return p.parseParam()
+
 	case TokSymbol:
 		if t.Text == "(" {
 			p.advance()
@@ -829,23 +910,39 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		}
 		return nil, p.errorf("unexpected %q", t.Text)
 
+	case TokQuotedIdent:
+		// Quoted identifiers are always names, never keywords or function
+		// calls.
+		p.advance()
+		if p.acceptSymbol(".") {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: strings.ToLower(t.Text), Name: strings.ToLower(col)}, nil
+		}
+		return &ColumnRef{Name: strings.ToLower(t.Text)}, nil
+
 	case TokIdent:
-		switch t.Upper {
-		case "NULL":
+		switch {
+		case KeywordEq(t.Text, "NULL"):
 			p.advance()
 			return &Literal{Value: rel.Null()}, nil
-		case "TRUE":
+		case KeywordEq(t.Text, "TRUE"):
 			p.advance()
 			return &Literal{Value: rel.Bool(true)}, nil
-		case "FALSE":
+		case KeywordEq(t.Text, "FALSE"):
 			p.advance()
 			return &Literal{Value: rel.Bool(false)}, nil
-		case "CASE":
+		case KeywordEq(t.Text, "CASE"):
 			return p.parseCase()
-		case "CAST":
+		case KeywordEq(t.Text, "CAST"):
 			return p.parseCast()
 		}
-		if reservedAfterTable[t.Upper] {
+		// Reject bare keywords as column refs or function names. The set
+		// mirrors deparseIdent's quoting: anything deparse would quote must
+		// not parse bare, or quoted spellings could not round-trip.
+		if isReserved(t) || lookupKeyword(deparseReserved, t.Text) {
 			return nil, p.errorf("unexpected keyword %q in expression", t.Text)
 		}
 		p.advance()
@@ -866,9 +963,44 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	return nil, p.errorf("unexpected token %q", t.String())
 }
 
+// parseParam consumes a TokParam and resolves its style. `?` placeholders
+// are numbered in textual order; mixing styles in one statement is an error
+// (the binding would be ambiguous).
+func (p *Parser) parseParam() (Expr, error) {
+	t := p.peek()
+	switch t.Text[0] {
+	case '?':
+		if p.sawDollar || p.sawName {
+			return nil, p.errorf("cannot mix ? with $n or :name parameters")
+		}
+		p.advance()
+		p.sawQ = true
+		p.qCount++
+		return &Param{Ordinal: p.qCount}, nil
+	case '$':
+		if p.sawQ || p.sawName {
+			return nil, p.errorf("cannot mix $n with ? or :name parameters")
+		}
+		n, err := strconv.Atoi(t.Text[1:])
+		if err != nil || n < 1 {
+			return nil, p.errorf("bad parameter ordinal %q", t.Text)
+		}
+		p.advance()
+		p.sawDollar = true
+		return &Param{Ordinal: n}, nil
+	default: // ':'
+		if p.sawQ || p.sawDollar {
+			return nil, p.errorf("cannot mix :name with ? or $n parameters")
+		}
+		p.advance()
+		p.sawName = true
+		return &Param{Name: strings.ToLower(t.Text[1:])}, nil
+	}
+}
+
 func (p *Parser) parseFuncCall(name Token) (Expr, error) {
 	p.advance() // (
-	f := &FuncCall{Name: name.Upper}
+	f := &FuncCall{Name: strings.ToUpper(name.Text)}
 	if p.acceptSymbol("*") {
 		f.Star = true
 		if err := p.expectSymbol(")"); err != nil {

@@ -31,6 +31,13 @@
 // the attribute fan-out — byte-identical rows to the hash plan at a
 // fraction of the calls when the outer side is selective.
 //
+// Queries take parameters ($1, ? or :name bound via NamedArgs) as trailing
+// Query arguments, and Engine.Prepare returns a Stmt that parses and plans
+// once for repeated execution; unprepared queries are amortized the same
+// way by a per-engine plan cache keyed on normalized statement text
+// (Config.PlanCacheCapacity, Engine.PlanCacheStats). EXPLAIN and EXPLAIN
+// ANALYZE work as ordinary statements.
+//
 // The facade re-exports the stable surface of the internal packages; see
 // README.md for an overview, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the reproduced evaluation.
@@ -70,6 +77,22 @@ type VirtualTable = core.VirtualTable
 
 // QueryResult bundles rows with the execution report. See core.QueryResult.
 type QueryResult = core.QueryResult
+
+// Stmt is a prepared statement: parsed and planned once, executed many
+// times with different parameter bindings via Engine.Prepare. See core.Stmt.
+type Stmt = core.Stmt
+
+// NamedArgs binds :name parameters by name; pass one as the sole argument
+// of Query/Stmt.Query. See core.NamedArgs.
+type NamedArgs = core.NamedArgs
+
+// PlanCacheStats reports the engine's prepared-plan cache counters. See
+// core.PlanCacheStats.
+type PlanCacheStats = core.PlanCacheStats
+
+// DefaultPlanCacheCapacity is the prepared-plan cache bound selected by
+// Config.PlanCacheCapacity == 0.
+const DefaultPlanCacheCapacity = core.DefaultPlanCacheCapacity
 
 // New builds an engine over any Model. It panics when Config.CacheDir
 // names a directory that cannot be opened; prefer Open for runtime-chosen
