@@ -4,15 +4,15 @@ GO ?= go
 # never clobber each other. CI sets it to a workspace path to upload the
 # JSON as an artifact when the gate fails.
 BENCH_CURRENT ?=
-BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Figure 8,Frontend
+BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14,Figure 8,Frontend
 REPLAY_FIXTURE := testdata/replay/bench_suite.json
 REPLAY_SCALE := 0.25
-REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13
+REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14
 
-.PHONY: check fmt vet build test race staticcheck bench baseline bench-check replay-check replay-fixture fuzz
+.PHONY: check fmt vet build test race staticcheck bench baseline bench-check replay-check replay-fixture fuzz docs-check
 
 ## check: everything the CI lint+test jobs run
-check: fmt vet build race
+check: fmt vet build race docs-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -76,6 +76,17 @@ replay-check:
 ## replay-fixture: re-record the checked-in replay fixture (after changing prompts, the engine, or the covered experiments)
 replay-fixture:
 	$(GO) run ./cmd/llmsql-bench -scale $(REPLAY_SCALE) -only "$(REPLAY_ONLY)" -record $(REPLAY_FIXTURE) -json > /dev/null
+
+## docs-check: godoc-coverage lint plus README flag tables verified against each binary's -print-flags output
+docs-check:
+	@tmp="$$(mktemp -d -t llmsql_docs.XXXXXX)"; status=0; \
+	$(GO) run ./cmd/llmsql -print-flags > "$$tmp/llmsql.md" && \
+	$(GO) run ./cmd/llmsql-serve -print-flags > "$$tmp/llmsql-serve.md" && \
+	$(GO) run ./cmd/llmsql-bench -print-flags > "$$tmp/llmsql-bench.md" && \
+	$(GO) run ./cmd/docscheck -readme README.md \
+		-flags "llmsql=$$tmp/llmsql.md,llmsql-serve=$$tmp/llmsql-serve.md,llmsql-bench=$$tmp/llmsql-bench.md" \
+		|| status=$$?; \
+	rm -rf "$$tmp"; exit $$status
 
 ## fuzz: 30s smoke of each native fuzz target (the weekly scheduled CI run uses FUZZTIME=10m)
 FUZZTIME ?= 30s

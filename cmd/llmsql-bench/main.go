@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"llmsql/internal/bench"
+	"llmsql/internal/cliflags"
 	"llmsql/internal/llm"
 )
 
@@ -45,8 +46,15 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent prompt-cache directory shared by the experiment engines (empty = off)")
 		record   = flag.String("record", "", "record every live completion of the run into this trace file (replay fixture)")
 		replay   = flag.String("replay", "", "serve the whole run from this trace file instead of live models")
+
+		printFlags = flag.Bool("print-flags", false, "print the flag reference as a markdown table and exit (consumed by make docs-check)")
 	)
 	flag.Parse()
+
+	if *printFlags {
+		fmt.Print(cliflags.Markdown(flag.CommandLine))
+		return
+	}
 
 	if *record != "" && *replay != "" {
 		fmt.Fprintln(os.Stderr, "llmsql-bench: -record and -replay are mutually exclusive (replaying reaches no live model, so there is nothing to record)")

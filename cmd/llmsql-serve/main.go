@@ -1,0 +1,233 @@
+// Command llmsql-serve runs the query engine as a long-lived server.
+//
+// It builds one core.EngineGroup — a shared coalescing backend stack over
+// the simulated model — and serves the line/JSON protocol on a TCP address
+// or unix socket. Every connection gets its own session (engine, prepared
+// statements, named-parameter defaults, per-session billing) while all
+// sessions share the request coalescer, the optional disk cache and the
+// local row store, so concurrent identical scans cost one live model
+// fan-out. Admission control bounds global concurrency with a wait queue
+// and enforces per-tenant concurrency and token budgets.
+//
+// On SIGINT/SIGTERM the server drains gracefully: listeners stop
+// accepting, idle sessions close immediately, and in-flight requests
+// finish and deliver their response before the connection closes (up to
+// -drain-timeout).
+//
+// Usage:
+//
+//	llmsql-serve -listen 127.0.0.1:7878
+//	llmsql-serve -listen /tmp/llmsql.sock -cache-dir /var/cache/llmsql
+//
+// Clients: `llmsql -connect <addr>` or any line/JSON speaker (see
+// internal/serve).
+//
+// Flags: see -help, or -print-flags for the markdown reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"llmsql/internal/cliflags"
+	"llmsql/internal/core"
+	"llmsql/internal/llm"
+	"llmsql/internal/serve"
+	"llmsql/internal/world"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7878", "listen address: host:port for TCP, or a unix socket path")
+		seed       = flag.Int64("seed", 2024, "world and model seed")
+		profile    = flag.String("model", "medium", "model quality tier: small, medium, large")
+		strategy   = flag.String("strategy", "full-table", "prompt strategy: full-table, key-then-attr, paged, auto (cost-based per table)")
+		temp       = flag.Float64("temp", 0.7, "sampling temperature")
+		rounds     = flag.Int("rounds", 8, "max sampling rounds")
+		votes      = flag.Int("votes", 1, "self-consistency votes for attribute retrieval")
+		batch      = flag.Int("batch", 1, "keys per batched ATTR prompt on the key-then-attr path (1 = unbatched)")
+		parallel   = flag.Int("parallel", 1, "worker-pool width for concurrent model calls per session (1 = serial)")
+		cacheCap   = flag.Int("cache", 0, "per-session completion-cache capacity in entries (0 = off, negative = default)")
+		cacheDir   = flag.String("cache-dir", "", "shared persistent prompt-cache directory (content-addressed; empty = off)")
+		coalesce   = flag.Int("coalesce-memo", 0, "completed-results memo capacity of the shared request coalescer (0 = default, negative = in-flight coalescing only)")
+		record     = flag.String("record", "", "record every live model completion into this trace file on shutdown (replay fixture)")
+		replay     = flag.String("replay", "", "serve all completions from this trace file instead of the live model")
+		pushdown   = flag.Bool("pushdown", true, "verbalise pushed filters into prompts and gate key-then-attr keys on key-only predicates")
+		limitPush  = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early")
+		bindJoin   = flag.Bool("bind-join", true, "let joins pass the outer side's distinct keys into the inner key-then-attr scan")
+		tolerant   = flag.Bool("tolerant", true, "use the repairing completion parser")
+		countries  = flag.Int("countries", 120, "world size: countries")
+		movies     = flag.Int("movies", 200, "world size: movies")
+		maxConc    = flag.Int("max-concurrent", 0, "global concurrent-query limit (0 = unlimited)")
+		maxQueue   = flag.Int("max-queue", 0, "queries allowed to wait for a slot when the global limit is reached (0 = reject immediately)")
+		queueWait  = flag.Duration("queue-timeout", serve.DefaultQueueTimeout, "longest a query waits in the admission queue before rejection")
+		tenantConc = flag.Int("tenant-concurrent", 0, "per-tenant concurrent-query limit (0 = unlimited; exceeding it rejects immediately, never queues)")
+		tenantTok  = flag.Int("tenant-tokens", 0, "per-tenant total token budget; queries from a tenant over budget are rejected (0 = unlimited)")
+		idle       = flag.Duration("idle-timeout", 0, "close sessions idle for this long (0 = never)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests on shutdown before closing connections forcibly")
+		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
+		printFlags = flag.Bool("print-flags", false, "print the flag reference as a markdown table and exit (consumed by make docs-check)")
+	)
+	flag.Parse()
+
+	if *printFlags {
+		fmt.Print(cliflags.Markdown(flag.CommandLine))
+		return
+	}
+
+	w := world.Generate(world.Config{
+		Seed:      *seed,
+		Countries: *countries,
+		Movies:    *movies,
+		Laureates: 100,
+		Companies: 100,
+	})
+	noise, err := profileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Temperature = *temp
+	cfg.MaxRounds = *rounds
+	cfg.Votes = *votes
+	cfg.BatchSize = *batch
+	cfg.Parallelism = *parallel
+	cfg.CacheCapacity = *cacheCap
+	cfg.CacheDir = *cacheDir
+	cfg.CoalesceCapacity = *coalesce
+	cfg.Pushdown = *pushdown
+	cfg.LimitPushdown = *limitPush
+	cfg.BindJoin = *bindJoin
+	cfg.Tolerant = *tolerant
+	cfg.Strategy, err = strategyByName(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	if *record != "" && *replay != "" {
+		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
+	}
+	var recordTrace *llm.Trace
+	if *record != "" {
+		recordTrace = llm.NewTrace()
+		cfg.RecordTrace = recordTrace
+	}
+	if *replay != "" {
+		cfg.ReplayTrace, err = llm.LoadTrace(*replay)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	group, err := core.NewEngineGroup(llm.NewSynthLM(w, noise, *seed), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer group.Close()
+	for _, name := range w.DomainNames() {
+		group.RegisterWorldDomain(w.Domain(name))
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := serve.NewServer(serve.Config{
+		Group: group,
+		Admission: serve.AdmissionConfig{
+			MaxConcurrent:    *maxConc,
+			MaxQueue:         *maxQueue,
+			QueueTimeout:     *queueWait,
+			TenantConcurrent: *tenantConc,
+			TenantTokens:     *tenantTok,
+		},
+		IdleTimeout: *idle,
+		Logf:        logf,
+	})
+
+	network, target := serve.SplitAddr(*listen)
+	if network == "unix" {
+		// A previous unclean exit leaves the socket file behind; rebinding
+		// requires removing it first.
+		os.Remove(target)
+	}
+	ln, err := net.Listen(network, target)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("llmsql-serve: listening on %s %s (model %s, strategy %s)", network, target, *profile, *strategy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("llmsql-serve: %v — draining (timeout %v)", s, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("llmsql-serve: drain incomplete: %v", err)
+		}
+	}
+	if network == "unix" {
+		os.Remove(target)
+	}
+
+	st := srv.Stats()
+	log.Printf("llmsql-serve: served %d sessions, %d queries (%d errors); coalescer: %d live calls, %d coalesced hits",
+		st.TotalSessions, st.Queries, st.Errors, st.Group.Coalescer.LiveCalls, st.Group.Coalescer.Hits())
+	if recordTrace != nil {
+		if err := recordTrace.Save(*record); err != nil {
+			log.Printf("llmsql-serve: save trace: %v", err)
+		} else {
+			log.Printf("llmsql-serve: recorded %d completions to %s", recordTrace.Len(), *record)
+		}
+	}
+}
+
+func profileByName(name string) (llm.NoiseProfile, error) {
+	switch strings.ToLower(name) {
+	case "small":
+		return llm.ProfileSmall, nil
+	case "medium":
+		return llm.ProfileMedium, nil
+	case "large":
+		return llm.ProfileLarge, nil
+	default:
+		return llm.NoiseProfile{}, fmt.Errorf("unknown model tier %q (want small, medium or large)", name)
+	}
+}
+
+func strategyByName(name string) (core.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "full-table", "full":
+		return core.StrategyFullTable, nil
+	case "key-then-attr", "kta":
+		return core.StrategyKeyThenAttr, nil
+	case "paged":
+		return core.StrategyPaged, nil
+	case "auto":
+		return core.StrategyAuto, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llmsql-serve:", err)
+	os.Exit(1)
+}

@@ -7,12 +7,18 @@
 // and — when --score is set — precision/recall/F1 against the world's
 // ground truth.
 //
+// With -connect it becomes a client of a running llmsql-serve instead:
+// queries travel over the line/JSON protocol, execute in a server-side
+// session that shares the server's coalescing backend stack, and print
+// with the same row/usage/scan formatting as the embedded mode.
+//
 // Usage:
 //
 //	llmsql [flags] "SELECT name, capital FROM country WHERE population > 50"
 //	llmsql [flags]            # interactive: one query per line
+//	llmsql -connect /tmp/llmsql.sock "SELECT ..."
 //
-// Flags: see -help.
+// Flags: see -help, or -print-flags for the markdown reference.
 package main
 
 import (
@@ -23,11 +29,13 @@ import (
 	"strconv"
 	"strings"
 
+	"llmsql/internal/cliflags"
 	"llmsql/internal/core"
 	"llmsql/internal/exec"
 	"llmsql/internal/llm"
 	"llmsql/internal/metrics"
 	"llmsql/internal/plan"
+	"llmsql/internal/serve"
 	"llmsql/internal/sql"
 	"llmsql/internal/storage"
 	"llmsql/internal/world"
@@ -35,31 +43,47 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 2024, "world and model seed")
-		profile   = flag.String("model", "medium", "model quality tier: small, medium, large")
-		strategy  = flag.String("strategy", "full-table", "prompt strategy: full-table, key-then-attr, paged, auto (cost-based per table)")
-		temp      = flag.Float64("temp", 0.7, "sampling temperature")
-		rounds    = flag.Int("rounds", 8, "max sampling rounds")
-		votes     = flag.Int("votes", 1, "self-consistency votes for attribute retrieval")
-		batch     = flag.Int("batch", 1, "keys per batched ATTR prompt on the key-then-attr path (1 = unbatched)")
-		parallel  = flag.Int("parallel", 1, "worker-pool width for concurrent model calls (1 = serial)")
-		cacheCap  = flag.Int("cache", 0, "completion-cache capacity in entries (0 = off, negative = default)")
-		cacheDir  = flag.String("cache-dir", "", "persistent prompt-cache directory (content-addressed, survives sessions; empty = off)")
-		record    = flag.String("record", "", "record every live model completion into this trace file (replay fixture)")
-		replay    = flag.String("replay", "", "serve all completions from this trace file instead of the live model")
-		pushdown  = flag.Bool("pushdown", true, "verbalise pushed filters into prompts and gate key-then-attr keys on key-only predicates")
-		limitPush = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early (identical rows, fewer prompts)")
-		bindJoin  = flag.Bool("bind-join", true, "let joins pass the outer side's distinct keys into the inner key-then-attr scan (identical rows, fewer prompts)")
-		tolerant  = flag.Bool("tolerant", true, "use the repairing completion parser")
-		score     = flag.Bool("score", false, "score results against the ground truth")
-		explain   = flag.Bool("explain", false, "print the plan instead of executing")
-		analyze   = flag.Bool("analyze", false, "execute and print the plan with per-operator row counts")
-		countries = flag.Int("countries", 120, "world size: countries")
-		movies    = flag.Int("movies", 200, "world size: movies")
+		seed       = flag.Int64("seed", 2024, "world and model seed")
+		profile    = flag.String("model", "medium", "model quality tier: small, medium, large")
+		strategy   = flag.String("strategy", "full-table", "prompt strategy: full-table, key-then-attr, paged, auto (cost-based per table)")
+		temp       = flag.Float64("temp", 0.7, "sampling temperature")
+		rounds     = flag.Int("rounds", 8, "max sampling rounds")
+		votes      = flag.Int("votes", 1, "self-consistency votes for attribute retrieval")
+		batch      = flag.Int("batch", 1, "keys per batched ATTR prompt on the key-then-attr path (1 = unbatched)")
+		parallel   = flag.Int("parallel", 1, "worker-pool width for concurrent model calls (1 = serial)")
+		cacheCap   = flag.Int("cache", 0, "completion-cache capacity in entries (0 = off, negative = default)")
+		cacheDir   = flag.String("cache-dir", "", "persistent prompt-cache directory (content-addressed, survives sessions; empty = off)")
+		record     = flag.String("record", "", "record every live model completion into this trace file (replay fixture)")
+		replay     = flag.String("replay", "", "serve all completions from this trace file instead of the live model")
+		pushdown   = flag.Bool("pushdown", true, "verbalise pushed filters into prompts and gate key-then-attr keys on key-only predicates")
+		limitPush  = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early (identical rows, fewer prompts)")
+		bindJoin   = flag.Bool("bind-join", true, "let joins pass the outer side's distinct keys into the inner key-then-attr scan (identical rows, fewer prompts)")
+		tolerant   = flag.Bool("tolerant", true, "use the repairing completion parser")
+		score      = flag.Bool("score", false, "score results against the ground truth")
+		explain    = flag.Bool("explain", false, "print the plan instead of executing")
+		analyze    = flag.Bool("analyze", false, "execute and print the plan with per-operator row counts")
+		countries  = flag.Int("countries", 120, "world size: countries")
+		movies     = flag.Int("movies", 200, "world size: movies")
+		connect    = flag.String("connect", "", "act as a client of llmsql-serve at this address (host:port or unix socket path) instead of embedding an engine")
+		tenant     = flag.String("tenant", "", "tenant name announced to the server in -connect mode (admission quotas key on it)")
+		printFlags = flag.Bool("print-flags", false, "print the flag reference as a markdown table and exit (consumed by make docs-check)")
 	)
 	var params paramFlags
 	flag.Var(&params, "param", "bind a query parameter; repeatable. name=value binds :name, a bare value binds the next $n/? positionally. Values parse as int, float, bool or null, else text")
 	flag.Parse()
+
+	if *printFlags {
+		fmt.Print(cliflags.Markdown(flag.CommandLine))
+		return
+	}
+
+	if *connect != "" {
+		if *score {
+			fatal(fmt.Errorf("-score needs the embedded world's ground truth and is not available in -connect mode"))
+		}
+		runRemote(*connect, *tenant, &params, *explain, *analyze)
+		return
+	}
 
 	w := world.Generate(world.Config{
 		Seed:      *seed,
@@ -143,8 +167,7 @@ func main() {
 			return
 		}
 		// DDL/DML goes to the local side (hybrid queries).
-		upper := strings.ToUpper(strings.TrimSpace(query))
-		if strings.HasPrefix(upper, "CREATE") || strings.HasPrefix(upper, "INSERT") {
+		if isLocalWrite(query) {
 			if err := eng.Exec(query); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			} else {
@@ -169,34 +192,21 @@ func main() {
 			return
 		}
 		fmt.Print(core.FormatResult(res.Result))
-		fmt.Printf("model: %d calls (%d cached), %d tokens, simulated %v total / %v critical-path / $%.4f\n",
-			res.Usage.Calls, res.Usage.CachedCalls, res.Usage.TotalTokens(),
-			res.Usage.SimLatency.Round(1e6), res.Usage.SimWall.Round(1e6), res.Usage.SimDollars)
+		printUsage(res.Usage)
 		for _, s := range res.Scans {
-			fmt.Printf("scan %s [%s]: %d prompts, %d rounds, %d rows, %d dupes dropped, %d repairs",
-				s.Table, s.Label(), s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
-			if s.BatchedPrompts > 0 {
-				fmt.Printf(", %d batched (%d fallbacks)", s.BatchedPrompts, s.BatchFallbacks)
-			}
-			if s.KeysGated > 0 || s.KeysAttributed > 0 {
-				fmt.Printf(", %d keys gated, %d attributed", s.KeysGated, s.KeysAttributed)
-			}
-			if s.KeysBound > 0 {
-				fmt.Printf(", %d keys bound", s.KeysBound)
-			}
-			if s.CacheHits+s.CacheMisses > 0 {
-				fmt.Printf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
-			}
-			if s.DiskHits+s.DiskMisses > 0 {
-				fmt.Printf(", disk %d/%d (%dB)", s.DiskHits, s.DiskHits+s.DiskMisses, s.DiskBytes)
-			}
-			fmt.Println()
+			printScan(s)
 		}
 		if truthDB != nil {
 			scoreQuery(truthDB, query, res)
 		}
 	}
 
+	runLoop(runOne)
+}
+
+// runLoop drives runOne from the command line (one joined query) or the
+// interactive prompt, shared by the embedded and -connect modes.
+func runLoop(runOne func(string)) {
 	if flag.NArg() > 0 {
 		runOne(strings.Join(flag.Args(), " "))
 		return
@@ -220,6 +230,118 @@ func main() {
 		}
 		runOne(line)
 	}
+}
+
+// runRemote executes queries against a llmsql-serve instance with the same
+// printed output as the embedded mode; the usage and scan lines describe
+// the server-side session, so cache and coalescing hits reflect sharing
+// with every other connected session.
+func runRemote(addr, tenant string, params *paramFlags, explain, analyze bool) {
+	c, err := serve.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	hello, err := c.Hello(tenant)
+	if err != nil {
+		fatal(err)
+	}
+	if !hello.OK {
+		fatal(fmt.Errorf("server rejected session: %s", hello.Error))
+	}
+
+	runOne := func(query string) {
+		var resp *serve.Response
+		var err error
+		switch {
+		case explain:
+			resp, err = c.Explain(query)
+			if err == nil && resp.OK {
+				fmt.Print(resp.Plan)
+				return
+			}
+		case isLocalWrite(query):
+			resp, err = c.Exec(query)
+			if err == nil && resp.OK {
+				fmt.Println("ok")
+				return
+			}
+		default:
+			req := serve.Request{Op: "query", SQL: query, Analyze: analyze}
+			req.Args, req.Named = params.wire()
+			resp, err = c.Do(req)
+		}
+		if err != nil {
+			// Transport failure: the session is gone, so there is no point
+			// continuing an interactive loop.
+			fatal(err)
+		}
+		if !resp.OK {
+			if resp.Code != "" && resp.Code != "error" {
+				fmt.Fprintf(os.Stderr, "error [%s]: %s\n", resp.Code, resp.Error)
+			} else {
+				fmt.Fprintln(os.Stderr, "error:", resp.Error)
+			}
+			return
+		}
+		if analyze {
+			fmt.Print(resp.Plan)
+		}
+		res, err := serve.DecodeRows(resp.Columns, resp.Types, resp.Rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Print(core.FormatResult(res))
+		if resp.Usage != nil {
+			printUsage(*resp.Usage)
+		}
+		for _, s := range resp.Scans {
+			printScan(s)
+		}
+	}
+
+	runLoop(runOne)
+}
+
+// isLocalWrite reports whether a statement is DDL/DML for the local row
+// store rather than a query against LLM storage.
+func isLocalWrite(query string) bool {
+	upper := strings.ToUpper(strings.TrimSpace(query))
+	return strings.HasPrefix(upper, "CREATE") || strings.HasPrefix(upper, "INSERT")
+}
+
+// printUsage prints the one-line retrieval report shared by the embedded
+// and -connect modes.
+func printUsage(u llm.Usage) {
+	fmt.Printf("model: %d calls (%d cached), %d tokens, simulated %v total / %v critical-path / $%.4f\n",
+		u.Calls, u.CachedCalls, u.TotalTokens(),
+		u.SimLatency.Round(1e6), u.SimWall.Round(1e6), u.SimDollars)
+}
+
+// printScan prints one per-scan statistics line.
+func printScan(s core.ScanStats) {
+	fmt.Printf("scan %s [%s]: %d prompts, %d rounds, %d rows, %d dupes dropped, %d repairs",
+		s.Table, s.Label(), s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
+	if s.BatchedPrompts > 0 {
+		fmt.Printf(", %d batched (%d fallbacks)", s.BatchedPrompts, s.BatchFallbacks)
+	}
+	if s.KeysGated > 0 || s.KeysAttributed > 0 {
+		fmt.Printf(", %d keys gated, %d attributed", s.KeysGated, s.KeysAttributed)
+	}
+	if s.KeysBound > 0 {
+		fmt.Printf(", %d keys bound", s.KeysBound)
+	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		fmt.Printf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
+	if s.DiskHits+s.DiskMisses > 0 {
+		fmt.Printf(", disk %d/%d (%dB)", s.DiskHits, s.DiskHits+s.DiskMisses, s.DiskBytes)
+	}
+	if s.CoalescedHits > 0 {
+		fmt.Printf(", %d coalesced", s.CoalescedHits)
+	}
+	fmt.Println()
 }
 
 // paramFlags collects repeated -param flags: `name=value` entries bind
@@ -257,6 +379,14 @@ func (p *paramFlags) args() []any {
 		return []any{core.NamedArgs(p.named)}
 	}
 	return p.pos
+}
+
+// wire renders the collected flags as serve.Request bindings.
+func (p *paramFlags) wire() (args []any, named map[string]any) {
+	if len(p.named) > 0 {
+		return nil, p.named
+	}
+	return p.pos, nil
 }
 
 // parseParamValue types a flag value: int, float, bool and null literals

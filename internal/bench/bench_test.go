@@ -320,6 +320,42 @@ func TestTable9ParallelismSpeedupAndDeterminism(t *testing.T) {
 	}
 }
 
+func TestTable14CoalesceShape(t *testing.T) {
+	r, err := Table14Coalesce(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := dataLines(r.Body)
+	if len(rows) != 3 {
+		t.Fatalf("scenario rows: %v", rows)
+	}
+	if !strings.Contains(r.Body, "byte-identical to the first run of its query: true") {
+		t.Fatalf("coalescing changed answers:\n%s", r.Body)
+	}
+	// fields: sessions queries billed-calls live-calls coalesced ...
+	solo := strings.Fields(rows[0])
+	four := strings.Fields(rows[1])
+	soloBilled, _ := strconv.Atoi(solo[2])
+	soloLive, _ := strconv.Atoi(solo[3])
+	fourBilled, _ := strconv.Atoi(four[2])
+	fourLive, _ := strconv.Atoi(four[3])
+	fourCoalesced, _ := strconv.Atoi(four[4])
+	if soloBilled != soloLive {
+		t.Fatalf("solo session must be all live: billed %d, live %d\n%s", soloBilled, soloLive, r.Body)
+	}
+	// The tentpole claim: 4 sessions over one query are billed 4x a solo
+	// run but cost exactly one live fan-out.
+	if fourBilled != 4*soloBilled {
+		t.Fatalf("billed calls not solo-identical per session: %d vs 4*%d\n%s", fourBilled, soloBilled, r.Body)
+	}
+	if fourLive != soloLive {
+		t.Fatalf("repeat sessions caused live calls: %d vs %d\n%s", fourLive, soloLive, r.Body)
+	}
+	if fourCoalesced == 0 {
+		t.Fatalf("no coalesced hits recorded:\n%s", r.Body)
+	}
+}
+
 func TestFigure8CacheWarmup(t *testing.T) {
 	r, err := Figure8CacheWarmup(testOptions())
 	if err != nil {

@@ -281,6 +281,7 @@ var experiments = []struct {
 	{"Table 11", Table11LimitPushdown},
 	{"Table 12", Table12BindJoins},
 	{"Table 13", Table13WarmCache},
+	{"Table 14", Table14Coalesce},
 	{"Figure 4", Figure4Convergence},
 	{"Figure 5", Figure5ModelQuality},
 	{"Figure 6", Figure6Popularity},

@@ -1,0 +1,33 @@
+// Package cliflags renders a flag set as the markdown table committed in
+// README.md. Every binary exposes the rendering behind a -print-flags mode,
+// and `make docs-check` diffs that output against the README's committed
+// tables — so the documented flags can never drift from the real ones.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Markdown renders fs as a three-column markdown table (flag, default,
+// description), in the flag set's lexicographic visit order.
+func Markdown(fs *flag.FlagSet) string {
+	var b strings.Builder
+	b.WriteString("| Flag | Default | Description |\n")
+	b.WriteString("| --- | --- | --- |\n")
+	fs.VisitAll(func(f *flag.Flag) {
+		def := ""
+		if f.DefValue != "" {
+			def = "`" + f.DefValue + "`"
+		}
+		fmt.Fprintf(&b, "| `-%s` | %s | %s |\n", f.Name, def, escapeCell(f.Usage))
+	})
+	return b.String()
+}
+
+// escapeCell makes a usage string safe inside one markdown table cell.
+func escapeCell(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -70,7 +70,7 @@ func Open(model llm.Model, cfg Config) (*Engine, error) {
 		var err error
 		disk, err = llm.NewDiskCache(base, cfg.CacheDir, cfg.CacheMaxBytes)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: open cache dir %q: %w", cfg.CacheDir, err)
 		}
 		base = disk
 	}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"llmsql/internal/llm"
+	"llmsql/internal/storage"
+	"llmsql/internal/world"
+)
+
+// EngineGroup is the multi-session form of the engine, built for serving:
+// one shared backend stack answers many per-session engines. The shared
+// layers — outermost first —
+//
+//	Coalescer                           cross-session request coalescing
+//	DiskCache                           Config.CacheDir != ""
+//	CountingModel                       live (operator-side) usage
+//	trace recorder | trace replayer     Config.RecordTrace / ReplayTrace
+//	model                               the base backend
+//
+// sit below every session, while each Session() engine keeps its own
+// CountingModel (billing), optional in-memory CacheModel and plan cache on
+// top. The coalescer merges identical requests across sessions — concurrent
+// or, via its memo, consecutive — so N sessions scanning the same virtual
+// table cost one live fan-out; because coalesced responses preserve the
+// original cache flags and billing, every session's rows, ScanStats (modulo
+// CoalescedHits) and Usage are bit-identical to what a solo engine would
+// report, and the saving appears only in the group's operator-side stats.
+//
+// The group also acts as the session registry: tables registered on the
+// group (before or after sessions exist) propagate to every session, all
+// sessions share one local row store, and local writes through any session
+// can be broadcast to the others' plan caches via InvalidatePlans. All
+// methods are safe for concurrent use.
+type EngineGroup struct {
+	shared llm.Model // the stack below the sessions, coalescer outermost
+	coal   *llm.Coalescer
+	live   *llm.CountingModel
+	disk   *llm.DiskCache
+	cfg    Config
+
+	mu       sync.Mutex
+	tables   []VirtualTable
+	local    *storage.DB
+	sessions map[*Engine]struct{}
+	total    int       // sessions ever created
+	closed   llm.Usage // billed usage of sessions already closed
+}
+
+// NewEngineGroup assembles the shared serving stack over the model. The
+// configuration is the one every session engine will run with; its CacheDir,
+// CacheMaxBytes, RecordTrace, ReplayTrace and CoalesceCapacity configure the
+// shared layers (sessions never re-add them), while CacheCapacity and
+// PlanCacheCapacity stay per-session.
+func NewEngineGroup(model llm.Model, cfg Config) (*EngineGroup, error) {
+	base := model
+	switch {
+	case cfg.ReplayTrace != nil:
+		base = cfg.ReplayTrace.Replay(model.Name())
+	case cfg.RecordTrace != nil:
+		base = cfg.RecordTrace.Record(model)
+	}
+	// Live counting sits below the disk cache: it sees exactly the traffic
+	// the operator pays the provider for (disk hits never reach it).
+	live := llm.NewCounting(base)
+	shared := llm.Model(live)
+	var disk *llm.DiskCache
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = llm.NewDiskCache(shared, cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("core: open cache dir %q: %w", cfg.CacheDir, err)
+		}
+		shared = disk
+	}
+	coal := llm.NewCoalescerSized(shared, cfg.CoalesceCapacity)
+	return &EngineGroup{
+		shared:   coal,
+		coal:     coal,
+		live:     live,
+		disk:     disk,
+		cfg:      cfg,
+		local:    storage.NewDB(),
+		sessions: make(map[*Engine]struct{}),
+	}, nil
+}
+
+// Session returns a fresh engine over the shared stack: its own billing
+// CountingModel, in-memory cache and plan cache, with every table the group
+// knows already registered and the group's local row store attached. Release
+// it with CloseSession when the session ends.
+func (g *EngineGroup) Session() *Engine {
+	cfg := g.cfg
+	// The shared layers must not be duplicated per session.
+	cfg.CacheDir = ""
+	cfg.CacheMaxBytes = 0
+	cfg.RecordTrace = nil
+	cfg.ReplayTrace = nil
+	e := New(g.shared, cfg)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, t := range g.tables {
+		e.RegisterTable(t)
+	}
+	e.AttachLocal(g.local)
+	g.sessions[e] = struct{}{}
+	g.total++
+	return e
+}
+
+// CloseSession retires a session engine: its billed usage is folded into the
+// group totals and it leaves the registry. The engine must not be used
+// afterwards.
+func (g *EngineGroup) CloseSession(e *Engine) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.sessions[e]; !ok {
+		return
+	}
+	delete(g.sessions, e)
+	g.closed.Add(e.TotalUsage())
+}
+
+// RegisterTable declares a virtual table on the group and on every live
+// session.
+func (g *EngineGroup) RegisterTable(t VirtualTable) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tables = append(g.tables, t)
+	for e := range g.sessions {
+		e.RegisterTable(t)
+	}
+}
+
+// RegisterWorldDomain declares a virtual table mirroring a synthetic-world
+// domain, like Engine.RegisterWorldDomain.
+func (g *EngineGroup) RegisterWorldDomain(d *world.Domain) {
+	g.RegisterTable(VirtualTable{
+		Name:        d.Name,
+		Description: d.Description,
+		Schema:      d.Schema,
+		EstRows:     len(d.Entities),
+	})
+}
+
+// Local returns the shared local row store. Operators load reference tables
+// into it before serving; sessions join them with virtual tables.
+func (g *EngineGroup) Local() *storage.DB { return g.local }
+
+// AttachLocal replaces the shared local row store for the group and every
+// live session (normally done before serving starts).
+func (g *EngineGroup) AttachLocal(db *storage.DB) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.local = db
+	for e := range g.sessions {
+		e.AttachLocal(db)
+	}
+}
+
+// InvalidatePlans discards every session's cached plans. Serving layers call
+// it after a local write through one session: the write already invalidated
+// that session's cache, but the others share the row store and must notice
+// too.
+func (g *EngineGroup) InvalidatePlans() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for e := range g.sessions {
+		e.invalidatePlans()
+	}
+}
+
+// Close releases the shared stack (the persistent cache's segment file).
+// Sessions must be closed first; the group must not be used after Close.
+func (g *EngineGroup) Close() error {
+	if g.disk == nil {
+		return nil
+	}
+	return g.disk.Close()
+}
+
+// GroupStats is the operator-side view of a serving group: how many
+// sessions, what they were billed, and what the backend actually cost after
+// coalescing and caching.
+type GroupStats struct {
+	// Sessions is the live session count; TotalSessions counts every
+	// session ever created.
+	Sessions      int
+	TotalSessions int
+	// Billed is the sum of every session's Usage (live and closed): what
+	// the sessions collectively experienced, identical to what the same
+	// queries would have cost run solo.
+	Billed llm.Usage
+	// Live is the consumption that actually reached the base backend, below
+	// the coalescer and the persistent cache — what the operator pays. The
+	// gap between Billed and Live is the serving layer's saving.
+	Live llm.Usage
+	// Coalescer reports the request-coalescing counters.
+	Coalescer llm.CoalescerStats
+	// DiskCache reports the shared persistent cache (zero without one).
+	DiskCache llm.DiskCacheStats
+}
+
+// Stats returns a snapshot of the group's operator-side counters.
+func (g *EngineGroup) Stats() GroupStats {
+	g.mu.Lock()
+	s := GroupStats{
+		Sessions:      len(g.sessions),
+		TotalSessions: g.total,
+		Billed:        g.closed,
+	}
+	for e := range g.sessions {
+		s.Billed.Add(e.TotalUsage())
+	}
+	g.mu.Unlock()
+	s.Live = g.live.Usage()
+	s.Coalescer = g.coal.Stats()
+	if g.disk != nil {
+		s.DiskCache = g.disk.Stats()
+	}
+	return s
+}
+
+// CoalescerStats returns the shared coalescer's counters.
+func (g *EngineGroup) CoalescerStats() llm.CoalescerStats { return g.coal.Stats() }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"llmsql/internal/llm"
+)
+
+// groupConfig is the serving-test workload shape: the key-then-attr hot
+// path with voting, sampling and both fan-out axes live, no per-session
+// memory cache (so every consumed call is visible to the coalescer).
+func groupConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyKeyThenAttr
+	cfg.Votes = 2
+	cfg.MaxRounds = 3
+	cfg.Temperature = 0.7
+	cfg.Parallelism = 2
+	cfg.BatchSize = 2
+	return cfg
+}
+
+// zeroCoalesced strips the only field allowed to differ between a solo run
+// and a coalesced session run.
+func zeroCoalesced(scans []ScanStats) []ScanStats {
+	out := make([]ScanStats, len(scans))
+	for i, s := range scans {
+		s.CoalescedHits = 0
+		out[i] = s
+	}
+	return out
+}
+
+func TestGroupSessionsSoloIdenticalWithOneLiveFanOut(t *testing.T) {
+	w := parWorld()
+	const query = "SELECT name, capital, population FROM country"
+
+	// Reference: a solo engine over its own model.
+	solo := New(llm.NewSynthLM(w, llm.ProfileMedium, 7), groupConfig())
+	for _, name := range w.DomainNames() {
+		solo.RegisterWorldDomain(w.Domain(name))
+	}
+	soloRes, err := solo.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), groupConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for _, name := range w.DomainNames() {
+		g.RegisterWorldDomain(w.Domain(name))
+	}
+
+	const K = 3
+	for i := 0; i < K; i++ {
+		e := g.Session()
+		res, err := e.Query(query)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if got, want := renderRows(res.Result.Rows), renderRows(soloRes.Result.Rows); got != want {
+			t.Fatalf("session %d rows differ from solo run", i)
+		}
+		if res.Usage != soloRes.Usage {
+			t.Fatalf("session %d usage differs: %+v vs solo %+v", i, res.Usage, soloRes.Usage)
+		}
+		if !reflect.DeepEqual(zeroCoalesced(res.Scans), zeroCoalesced(soloRes.Scans)) {
+			t.Fatalf("session %d scans differ: %+v vs solo %+v", i, res.Scans, soloRes.Scans)
+		}
+		if i == 0 {
+			if res.Scans[0].CoalescedHits != 0 {
+				t.Fatalf("first session must be all live: %+v", res.Scans[0])
+			}
+		} else if got := res.Scans[0].CoalescedHits; got != res.Scans[0].Prompts {
+			t.Fatalf("session %d: %d of %d consumed calls coalesced", i, got, res.Scans[0].Prompts)
+		}
+		g.CloseSession(e)
+	}
+
+	s := g.Stats()
+	if s.Coalescer.LiveCalls != soloRes.Usage.Calls {
+		t.Fatalf("live calls = %d, want one fan-out = %d", s.Coalescer.LiveCalls, soloRes.Usage.Calls)
+	}
+	if s.Coalescer.Hits() != (K-1)*soloRes.Usage.Calls {
+		t.Fatalf("coalesced hits = %d, want %d", s.Coalescer.Hits(), (K-1)*soloRes.Usage.Calls)
+	}
+	if s.Billed.Calls != K*soloRes.Usage.Calls {
+		t.Fatalf("billed calls = %d, want %d", s.Billed.Calls, K*soloRes.Usage.Calls)
+	}
+	if s.Live.Calls != soloRes.Usage.Calls || s.Live.TotalTokens() != soloRes.Usage.TotalTokens() {
+		t.Fatalf("live usage %+v, want solo %+v", s.Live, soloRes.Usage)
+	}
+	if s.TotalSessions != K || s.Sessions != 0 {
+		t.Fatalf("session counts: %+v", s)
+	}
+}
+
+func TestGroupRegistrationPropagatesToLiveSessions(t *testing.T) {
+	w := parWorld()
+	g, err := NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), groupConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	e := g.Session() // created before any table exists
+	g.RegisterWorldDomain(w.Domain("country"))
+	if _, err := e.Query("SELECT name FROM country LIMIT 1"); err != nil {
+		t.Fatalf("live session must see tables registered later: %v", err)
+	}
+	// And sessions created afterwards see them too.
+	e2 := g.Session()
+	if _, err := e2.Query("SELECT name FROM country LIMIT 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupSharedLocalStore(t *testing.T) {
+	w := parWorld()
+	g, err := NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), groupConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	a, b := g.Session(), g.Session()
+	// Warm b's plan cache on a statement the write below could invalidate.
+	if err := a.Exec("CREATE TABLE note (id INT PRIMARY KEY, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Exec("INSERT INTO note VALUES (1, 'hello')"); err != nil {
+		t.Fatal(err)
+	}
+	g.InvalidatePlans()
+	res, err := b.Query("SELECT body FROM note")
+	if err != nil {
+		t.Fatalf("write through session a must be visible to session b: %v", err)
+	}
+	if len(res.Result.Rows) != 1 || res.Result.Rows[0][0].String() != "hello" {
+		t.Fatalf("rows: %v", res.Result.Rows)
+	}
+}
+
+func TestGroupCloseSessionFoldsBilledUsage(t *testing.T) {
+	w := parWorld()
+	g, err := NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), groupConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.RegisterWorldDomain(w.Domain("country"))
+	e := g.Session()
+	res, err := e.Query("SELECT name FROM country LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Stats()
+	g.CloseSession(e)
+	g.CloseSession(e) // double-close is a no-op
+	after := g.Stats()
+	if before.Billed != after.Billed {
+		t.Fatalf("billed usage changed across close: %+v vs %+v", before.Billed, after.Billed)
+	}
+	if after.Billed.Calls != res.Usage.Calls {
+		t.Fatalf("billed calls = %d, want %d", after.Billed.Calls, res.Usage.Calls)
+	}
+}

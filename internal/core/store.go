@@ -68,6 +68,14 @@ type ScanStats struct {
 	DiskHits   int
 	DiskMisses int
 	DiskBytes  int64
+	// CoalescedHits counts calls this scan consumed that a serving-mode
+	// Coalescer answered from another session's identical request instead of
+	// a call of its own (zero outside serve mode). Coalesced responses keep
+	// their original cache flags and billing, so every other counter —
+	// Prompts, CacheHits/Misses, DiskHits/Misses, Usage — reads exactly as
+	// it would in a solo run; this field is the only place the sharing
+	// shows. See llm.Coalescer.
+	CoalescedHits int
 	// Parse aggregates the parser counters.
 	Parse ParseStats
 }
@@ -87,6 +95,7 @@ type LLMStore struct {
 	model llm.Model
 	cache *llm.CacheModel // in-memory completion cache in the model chain, if any
 	disk  *llm.DiskCache  // persistent prompt cache in the model chain, if any
+	coal  *llm.Coalescer  // serving-mode request coalescer in the chain, if any
 	cfg   Config
 	// costModel prices candidate decompositions for the scan planner; it
 	// mirrors the accounting CostModel (Engine.CostModel keeps them in
@@ -107,6 +116,7 @@ func NewLLMStore(model llm.Model, cfg Config) *LLMStore {
 		model:     model,
 		cache:     llm.FindCache(model),
 		disk:      llm.FindDiskCache(model),
+		coal:      llm.FindCoalescer(model),
 		cfg:       cfg.normalize(),
 		costModel: llm.DefaultCostModel(),
 		tables:    make(map[string]*VirtualTable),
@@ -330,7 +340,7 @@ func (sc *llmScan) addWall(d time.Duration) { sc.wall += d }
 // queries run concurrently (a global before/after counter diff is not), and
 // discarded speculative calls are never attributed, mirroring Prompts.
 func (sc *llmScan) countCache(resp llm.CompletionResponse) {
-	sc.countCall(resp.Cached, resp.DiskCached, resp.DiskBytes)
+	sc.countCall(resp.Cached, resp.DiskCached, resp.Coalesced, resp.DiskBytes)
 }
 
 // countCall is countCache over the flags alone (fan-out phases keep them in
@@ -338,8 +348,10 @@ func (sc *llmScan) countCache(resp llm.CompletionResponse) {
 // The disk layer is consulted only when the in-memory layer missed, so an
 // uncached response is a disk miss but a memory hit is neither — and a
 // disk-cached response, which kept Cached set on its way out through the
-// memory layer's miss path, is a memory miss, not a memory hit.
-func (sc *llmScan) countCall(cached, diskCached bool, diskBytes int64) {
+// memory layer's miss path, is a memory miss, not a memory hit. Coalesced
+// responses carry the flags of the original call, so the cache counters read
+// as they would solo; CoalescedHits is counted on top, not instead.
+func (sc *llmScan) countCall(cached, diskCached, coalesced bool, diskBytes int64) {
 	if sc.store.cache != nil {
 		if cached && !diskCached {
 			sc.stats.CacheHits++
@@ -354,6 +366,9 @@ func (sc *llmScan) countCall(cached, diskCached bool, diskBytes int64) {
 		} else if !cached {
 			sc.stats.DiskMisses++
 		}
+	}
+	if sc.store.coal != nil && coalesced {
+		sc.stats.CoalescedHits++
 	}
 }
 
@@ -561,6 +576,7 @@ type attrVote struct {
 	ok        bool
 	cached    bool
 	disk      bool
+	coal      bool
 	diskBytes int64
 	lat       time.Duration
 }
@@ -870,7 +886,7 @@ func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int, sched *l
 			return err
 		}
 		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		results[i] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
+		results[i] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, coal: resp.Coalesced, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
 		return nil
 	})
 	if err != nil {
@@ -882,7 +898,7 @@ func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int, sched *l
 	before := sched.Makespan()
 	for i := range results {
 		sched.Add(results[i].lat)
-		sc.countCall(results[i].cached, results[i].disk, results[i].diskBytes)
+		sc.countCall(results[i].cached, results[i].disk, results[i].coal, results[i].diskBytes)
 	}
 	sc.addWall(sched.Makespan() - before)
 	return results, nil
@@ -909,6 +925,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 		found     []bool
 		cached    bool
 		disk      bool
+		coal      bool
 		diskBytes int64
 		lat       time.Duration
 	}
@@ -928,7 +945,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 			return err
 		}
 		vals, ok, found := parseAttrBatchCompletion(resp.Text, group, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		tasks[i] = batchAnswer{vals: vals, ok: ok, found: found, cached: resp.Cached, disk: resp.DiskCached, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
+		tasks[i] = batchAnswer{vals: vals, ok: ok, found: found, cached: resp.Cached, disk: resp.DiskCached, coal: resp.Coalesced, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
 		return nil
 	})
 	if err != nil {
@@ -939,7 +956,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 	before := primary.Makespan()
 	for i := range tasks {
 		primary.Add(tasks[i].lat)
-		sc.countCall(tasks[i].cached, tasks[i].disk, tasks[i].diskBytes)
+		sc.countCall(tasks[i].cached, tasks[i].disk, tasks[i].coal, tasks[i].diskBytes)
 	}
 	sc.addWall(primary.Makespan() - before)
 
@@ -978,7 +995,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 			return err
 		}
 		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		fb[j] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
+		fb[j] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, coal: resp.Coalesced, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
 		return nil
 	})
 	if err != nil {
@@ -988,7 +1005,7 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 	before = fallback.Makespan()
 	for j := range fb {
 		fallback.Add(fb[j].lat)
-		sc.countCall(fb[j].cached, fb[j].disk, fb[j].diskBytes)
+		sc.countCall(fb[j].cached, fb[j].disk, fb[j].coal, fb[j].diskBytes)
 		results[repair[j]] = attrVote{val: fb[j].val, ok: fb[j].ok}
 	}
 	sc.addWall(fallback.Makespan() - before)

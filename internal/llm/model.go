@@ -38,6 +38,15 @@ type CompletionResponse struct {
 	// is the on-disk record size served.
 	DiskCached bool
 	DiskBytes  int64
+	// Coalesced reports the response was served by a Coalescer from another
+	// caller's identical request (joined in flight, or replayed from the
+	// coalescer's memo) rather than by a call of its own. Unlike Cached it
+	// does NOT zero the accounting: the Cached/DiskCached flags of the
+	// original response are preserved, so every caller is billed exactly as
+	// if it had made the call itself — the saving is visible only in the
+	// operator-side CoalescerStats. Per-scan consumption shows up as
+	// ScanStats.CoalescedHits.
+	Coalesced bool
 	// SimLatency is the simulated wall-clock time of this one call under the
 	// accounting CostModel (zero for cached responses; set by CountingModel).
 	// Schedulers use it to compute critical-path latency of concurrent scans.

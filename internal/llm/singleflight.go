@@ -1,0 +1,185 @@
+package llm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCoalescerMemo bounds the Coalescer's completed-results memo. It is
+// sized like DefaultCacheCapacity: large enough that every prompt of a
+// serving burst against one virtual table stays resident, small enough that
+// worst-case memory for real prompt sizes stays in the tens of megabytes.
+const DefaultCoalescerMemo = 4096
+
+// Coalescer merges identical completion requests across concurrent callers.
+// It is the cross-query sharing layer of the serving engine: requests are
+// keyed by Fingerprint, the first caller for a key becomes the leader and
+// runs the inner call, and every other caller — concurrent (joined in
+// flight) or later (served from a bounded LRU memo of completed responses) —
+// receives a copy of the leader's response without touching the inner
+// backend.
+//
+// Accounting contract: follower copies keep the leader's Cached/DiskCached
+// flags and token counts, and only additionally set Coalesced. A
+// CountingModel above the Coalescer therefore bills a coalesced caller
+// exactly as if it had made the call itself, which is what keeps per-session
+// Usage bit-identical to a solo run; the operator-side saving (calls that
+// never reached the inner backend) is visible only in CoalescerStats.
+//
+// The memo exists for determinism as much as for savings: with pure
+// in-flight single-flight, whether two sessions coalesce would depend on
+// request timing. The memo makes "one live call per distinct fingerprint"
+// hold regardless of interleaving, up to memo capacity.
+//
+// Errors are not memoized: a leader's error propagates to the followers that
+// joined it in flight, and the next caller for that key starts a fresh
+// leader.
+type Coalescer struct {
+	Inner Model
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	capacity int
+	stats    CoalescerStats
+}
+
+// flight is one in-progress leader call; followers block on done.
+type flight struct {
+	done chan struct{}
+	resp CompletionResponse
+	err  error
+}
+
+// memoEntry is one completed response retained for later callers.
+type memoEntry struct {
+	fp   string
+	resp CompletionResponse
+}
+
+// CoalescerStats reports the coalescing effectiveness as raw counters.
+type CoalescerStats struct {
+	// LiveCalls counts requests that actually reached the inner backend
+	// (leaders). This is what the operator pays for.
+	LiveCalls int
+	// FlightHits counts callers that joined a concurrent leader in flight.
+	FlightHits int
+	// MemoHits counts callers served from the completed-results memo.
+	MemoHits int
+	// Errors counts leader calls that failed (propagated, never memoized).
+	Errors int
+	// Size and Capacity describe the memo occupancy; Evictions counts
+	// entries dropped by the LRU bound.
+	Size      int
+	Capacity  int
+	Evictions int
+}
+
+// Hits returns the total requests answered without an inner call.
+func (s CoalescerStats) Hits() int { return s.FlightHits + s.MemoHits }
+
+// NewCoalescer wraps m with a single-flight layer and a completed-results
+// memo of DefaultCoalescerMemo entries.
+func NewCoalescer(m Model) *Coalescer { return NewCoalescerSized(m, DefaultCoalescerMemo) }
+
+// NewCoalescerSized wraps m with a single-flight layer and a memo bounded to
+// capacity entries (0 selects DefaultCoalescerMemo; negative values disable
+// the memo, leaving pure in-flight coalescing).
+func NewCoalescerSized(m Model, capacity int) *Coalescer {
+	if capacity == 0 {
+		capacity = DefaultCoalescerMemo
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Coalescer{
+		Inner:    m,
+		inflight: make(map[string]*flight),
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		capacity: capacity,
+	}
+}
+
+// Name implements Model.
+func (c *Coalescer) Name() string { return c.Inner.Name() }
+
+// Unwrap implements Unwrapper.
+func (c *Coalescer) Unwrap() Model { return c.Inner }
+
+// Complete implements Model. The first caller for a fingerprint runs the
+// inner call; everyone else gets a Coalesced copy of its response.
+func (c *Coalescer) Complete(req CompletionRequest) (CompletionResponse, error) {
+	fp := Fingerprint(c.Inner.Name(), req)
+
+	c.mu.Lock()
+	if el, ok := c.entries[fp]; ok {
+		c.stats.MemoHits++
+		c.order.MoveToFront(el)
+		resp := el.Value.(*memoEntry).resp
+		c.mu.Unlock()
+		resp.Coalesced = true
+		return resp, nil
+	}
+	if fl, ok := c.inflight[fp]; ok {
+		c.stats.FlightHits++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return CompletionResponse{}, fl.err
+		}
+		resp := fl.resp
+		resp.Coalesced = true
+		return resp, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[fp] = fl
+	c.stats.LiveCalls++
+	c.mu.Unlock()
+
+	fl.resp, fl.err = c.Inner.Complete(req)
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, fp)
+	if fl.err != nil {
+		c.stats.Errors++
+	} else if c.capacity > 0 {
+		c.entries[fp] = c.order.PushFront(&memoEntry{fp: fp, resp: fl.resp})
+		if c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*memoEntry).fp)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	return fl.resp, fl.err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Coalescer) Stats() CoalescerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.order.Len()
+	s.Capacity = c.capacity
+	return s
+}
+
+// FindCoalescer walks a wrapper chain and returns the first Coalescer, or
+// nil.
+func FindCoalescer(m Model) *Coalescer {
+	for m != nil {
+		if c, ok := m.(*Coalescer); ok {
+			return c
+		}
+		uw, ok := m.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		m = uw.Unwrap()
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package llm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// blockModel lets a test hold inner calls open so concurrent callers pile up
+// on the single-flight layer.
+type blockModel struct {
+	mu      sync.Mutex
+	calls   int
+	release chan struct{} // when non-nil, Complete blocks until closed
+	err     error
+}
+
+func (b *blockModel) Name() string { return "block" }
+
+func (b *blockModel) Complete(req CompletionRequest) (CompletionResponse, error) {
+	b.mu.Lock()
+	b.calls++
+	release := b.release
+	err := b.err
+	b.mu.Unlock()
+	if release != nil {
+		<-release
+	}
+	if err != nil {
+		return CompletionResponse{}, err
+	}
+	return CompletionResponse{
+		Text:             "ans:" + req.Prompt,
+		PromptTokens:     len(req.Prompt),
+		CompletionTokens: 4,
+	}, nil
+}
+
+func TestCoalescerFlightHits(t *testing.T) {
+	inner := &blockModel{release: make(chan struct{})}
+	c := NewCoalescer(inner)
+	const K = 16
+	results := make([]CompletionResponse, K)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			resp, err := c.Complete(CompletionRequest{Prompt: "same"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = resp
+		}(i)
+	}
+	// Wait until every goroutine has at least launched, then let the single
+	// leader through. (Followers may or may not be blocked yet; late ones
+	// hit the memo instead, which is equally coalesced.)
+	for i := 0; i < K; i++ {
+		<-started
+	}
+	close(inner.release)
+	wg.Wait()
+
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d, want exactly 1", inner.calls)
+	}
+	coalesced := 0
+	for i, r := range results {
+		if r.Text != "ans:same" || r.PromptTokens != 4 || r.CompletionTokens != 4 {
+			t.Fatalf("result %d differs: %+v", i, r)
+		}
+		if r.Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != K-1 {
+		t.Fatalf("coalesced = %d, want %d", coalesced, K-1)
+	}
+	s := c.Stats()
+	if s.LiveCalls != 1 || s.Hits() != K-1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCoalescerMemoServesLaterCallers(t *testing.T) {
+	inner := &blockModel{}
+	c := NewCoalescer(inner)
+	first, err := c.Complete(CompletionRequest{Prompt: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Coalesced {
+		t.Fatal("leader must not be marked coalesced")
+	}
+	second, err := c.Complete(CompletionRequest{Prompt: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Coalesced {
+		t.Fatal("memo hit must be marked coalesced")
+	}
+	// Everything but Coalesced is byte-identical to the leader's response.
+	second.Coalesced = false
+	if second != first {
+		t.Fatalf("memo copy differs: %+v vs %+v", second, first)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d", inner.calls)
+	}
+	s := c.Stats()
+	if s.LiveCalls != 1 || s.MemoHits != 1 || s.FlightHits != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCoalescerPreservesCachedFlags(t *testing.T) {
+	// A response that came out of a cache below the coalescer keeps its
+	// Cached flag on follower copies, so billing above stays solo-identical.
+	inner := &blockModel{}
+	cache := NewCache(inner)
+	c := NewCoalescer(cache)
+	if _, err := cache.Complete(CompletionRequest{Prompt: "warm"}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Complete(CompletionRequest{Prompt: "warm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Cached {
+		t.Fatalf("expected cached response, got %+v", first)
+	}
+	second, err := c.Complete(CompletionRequest{Prompt: "warm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || !second.Coalesced {
+		t.Fatalf("follower must keep Cached and add Coalesced: %+v", second)
+	}
+}
+
+func TestCoalescerDistinctPromptsDoNotCoalesce(t *testing.T) {
+	inner := &blockModel{}
+	c := NewCoalescer(inner)
+	for i := 0; i < 5; i++ {
+		resp, err := c.Complete(CompletionRequest{Prompt: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Coalesced {
+			t.Fatalf("distinct prompt %d coalesced", i)
+		}
+	}
+	// Distinct decode params split fingerprints too.
+	if resp, err := c.Complete(CompletionRequest{Prompt: "p0", Seed: 7}); err != nil || resp.Coalesced {
+		t.Fatalf("distinct seed must not coalesce: %+v err=%v", resp, err)
+	}
+	if inner.calls != 6 {
+		t.Fatalf("inner calls = %d", inner.calls)
+	}
+}
+
+func TestCoalescerMemoBoundAndEviction(t *testing.T) {
+	inner := &blockModel{}
+	c := NewCoalescerSized(inner, 2)
+	ask := func(p string) {
+		t.Helper()
+		if _, err := c.Complete(CompletionRequest{Prompt: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ask("a")
+	ask("b")
+	ask("a") // refresh a: b is LRU
+	ask("c") // evicts b
+	ask("b") // live again
+	s := c.Stats()
+	if s.Size != 2 || s.Capacity != 2 || s.Evictions != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.LiveCalls != 4 || s.MemoHits != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if len(c.entries) != c.order.Len() {
+		t.Fatalf("map/list out of sync: %d vs %d", len(c.entries), c.order.Len())
+	}
+}
+
+func TestCoalescerMemoDisabled(t *testing.T) {
+	inner := &blockModel{}
+	c := NewCoalescerSized(inner, -1)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Complete(CompletionRequest{Prompt: "p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner.calls != 3 {
+		t.Fatalf("memo disabled must not retain results: %d inner calls", inner.calls)
+	}
+	if s := c.Stats(); s.Capacity != 0 || s.MemoHits != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCoalescerErrorsPropagateAndAreNotMemoized(t *testing.T) {
+	boom := errors.New("boom")
+	inner := &blockModel{err: boom}
+	c := NewCoalescer(inner)
+	if _, err := c.Complete(CompletionRequest{Prompt: "p"}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	inner.mu.Lock()
+	inner.err = nil
+	inner.mu.Unlock()
+	resp, err := c.Complete(CompletionRequest{Prompt: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Coalesced {
+		t.Fatal("failed call must not be memoized")
+	}
+	if s := c.Stats(); s.Errors != 1 || s.LiveCalls != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestFindCoalescer(t *testing.T) {
+	inner := &blockModel{}
+	c := NewCoalescer(inner)
+	if FindCoalescer(NewCounting(NewCache(c))) != c {
+		t.Fatal("FindCoalescer must walk the wrapper chain")
+	}
+	if FindCoalescer(NewCounting(inner)) != nil {
+		t.Fatal("FindCoalescer on a chain without one must return nil")
+	}
+}

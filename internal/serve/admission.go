@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Admission rejection codes, returned in Response.Code so clients can
+// distinguish backpressure (retry later) from exhausted budgets (don't).
+const (
+	// CodeQueueFull: the global concurrency limit is reached and the wait
+	// queue is at capacity.
+	CodeQueueFull = "queue-full"
+	// CodeQueueTimeout: the query waited QueueTimeout without a slot.
+	CodeQueueTimeout = "queue-timeout"
+	// CodeTenantConcurrency: the tenant is already running its maximum
+	// number of concurrent queries.
+	CodeTenantConcurrency = "tenant-concurrency"
+	// CodeBudget: the tenant has consumed its token budget.
+	CodeBudget = "budget"
+)
+
+// RejectError is an admission-control rejection; Code is one of the Code*
+// constants above.
+type RejectError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("serve: admission rejected (%s): %s", e.Code, e.Msg)
+}
+
+// AdmissionConfig bounds what the server lets run. The zero value admits
+// everything.
+type AdmissionConfig struct {
+	// MaxConcurrent caps queries running at once across all sessions
+	// (0 = unlimited).
+	MaxConcurrent int
+	// MaxQueue caps queries waiting for a global slot; arrivals beyond it
+	// are rejected immediately with CodeQueueFull (meaningful only with
+	// MaxConcurrent > 0).
+	MaxQueue int
+	// QueueTimeout bounds how long a queued query waits for a slot before a
+	// CodeQueueTimeout rejection (0 selects DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// TenantConcurrent caps concurrently running queries per tenant
+	// (0 = unlimited). Tenant limits never queue: exceeding them is an
+	// immediate CodeTenantConcurrency rejection, pushing backpressure to
+	// the offending tenant without holding global slots.
+	TenantConcurrent int
+	// TenantTokens is the per-tenant token budget (prompt + completion,
+	// billed — coalesced and cached calls charge what a solo run would).
+	// A tenant at or past its budget is rejected with CodeBudget;
+	// 0 = unlimited.
+	TenantTokens int
+}
+
+// DefaultQueueTimeout is the wait bound selected by QueueTimeout == 0.
+const DefaultQueueTimeout = 5 * time.Second
+
+// AdmissionStats reports admission outcomes since server start.
+type AdmissionStats struct {
+	// Admitted counts queries that got a slot; Rejected sums the four
+	// rejection counters below.
+	Admitted          int `json:"admitted"`
+	Rejected          int `json:"rejected"`
+	QueueFull         int `json:"queue_full"`
+	QueueTimeout      int `json:"queue_timeout"`
+	TenantConcurrency int `json:"tenant_concurrency"`
+	Budget            int `json:"budget"`
+	// Waiting is the current queue depth; Running the queries holding
+	// slots.
+	Waiting int `json:"waiting"`
+	Running int `json:"running"`
+	// Tenants reports per-tenant consumption, keyed by tenant name (the
+	// default tenant appears as "default").
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's admission ledger.
+type TenantStats struct {
+	// Admitted and Rejected count this tenant's outcomes.
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	// TokensUsed is the billed token consumption charged against the
+	// budget; TokenBudget echoes the configured limit (0 = unlimited).
+	TokensUsed  int `json:"tokens_used"`
+	TokenBudget int `json:"token_budget"`
+}
+
+// Admission enforces an AdmissionConfig. All methods are safe for
+// concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+	sem chan struct{} // nil when MaxConcurrent == 0
+
+	mu      sync.Mutex
+	waiting int
+	running int
+	stats   AdmissionStats
+	tenants map[string]*tenantState
+}
+
+type tenantState struct {
+	running  int
+	tokens   int
+	admitted int
+	rejected int
+}
+
+// NewAdmission builds an admission controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	a := &Admission{cfg: cfg, tenants: make(map[string]*tenantState)}
+	if cfg.MaxConcurrent > 0 {
+		a.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return a
+}
+
+// Acquire asks for a query slot on behalf of tenant. On admission it
+// returns a release function the caller must invoke exactly once when the
+// query finishes, passing the billed tokens it consumed (charged against
+// the tenant's budget). On rejection it returns a *RejectError.
+func (a *Admission) Acquire(tenant string) (release func(tokens int), err error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	a.mu.Lock()
+	t := a.tenants[tenant]
+	if t == nil {
+		t = &tenantState{}
+		a.tenants[tenant] = t
+	}
+	reject := func(code, msg string, counter *int) (func(int), error) {
+		*counter++
+		a.stats.Rejected++
+		t.rejected++
+		a.mu.Unlock()
+		return nil, &RejectError{Code: code, Msg: msg}
+	}
+	if a.cfg.TenantTokens > 0 && t.tokens >= a.cfg.TenantTokens {
+		return reject(CodeBudget,
+			fmt.Sprintf("tenant %q consumed %d of %d budget tokens", tenant, t.tokens, a.cfg.TenantTokens),
+			&a.stats.Budget)
+	}
+	if a.cfg.TenantConcurrent > 0 && t.running >= a.cfg.TenantConcurrent {
+		return reject(CodeTenantConcurrency,
+			fmt.Sprintf("tenant %q already runs %d concurrent queries", tenant, t.running),
+			&a.stats.TenantConcurrency)
+	}
+	if a.sem != nil {
+		select {
+		case a.sem <- struct{}{}:
+			// Fast path: a slot is free.
+		default:
+			if a.waiting >= a.cfg.MaxQueue {
+				return reject(CodeQueueFull,
+					fmt.Sprintf("%d running, %d waiting", a.running, a.waiting),
+					&a.stats.QueueFull)
+			}
+			a.waiting++
+			a.mu.Unlock()
+			timer := time.NewTimer(a.cfg.QueueTimeout)
+			select {
+			case a.sem <- struct{}{}:
+				timer.Stop()
+				a.mu.Lock()
+				a.waiting--
+			case <-timer.C:
+				a.mu.Lock()
+				a.waiting--
+				return reject(CodeQueueTimeout,
+					fmt.Sprintf("no slot within %s", a.cfg.QueueTimeout),
+					&a.stats.QueueTimeout)
+			}
+		}
+	}
+	t.running++
+	t.admitted++
+	a.running++
+	a.stats.Admitted++
+	a.mu.Unlock()
+	return func(tokens int) {
+		a.mu.Lock()
+		t.running--
+		t.tokens += tokens
+		a.running--
+		a.mu.Unlock()
+		if a.sem != nil {
+			<-a.sem
+		}
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.stats
+	s.Waiting = a.waiting
+	s.Running = a.running
+	if len(a.tenants) > 0 {
+		s.Tenants = make(map[string]TenantStats, len(a.tenants))
+		for name, t := range a.tenants {
+			s.Tenants[name] = TenantStats{
+				Admitted:    t.admitted,
+				Rejected:    t.rejected,
+				TokensUsed:  t.tokens,
+				TokenBudget: a.cfg.TenantTokens,
+			}
+		}
+	}
+	return s
+}

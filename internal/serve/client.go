@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Client is a minimal synchronous client for the line/JSON protocol: one
+// request out, one response in. It is not safe for concurrent use — open
+// one Client per goroutine (sessions are per-connection anyway).
+type Client struct {
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	nextID int64
+}
+
+// Dial connects to a server address. Addresses with a slash (or the
+// explicit "unix:" prefix) are unix socket paths; everything else is TCP
+// host:port.
+func Dial(addr string) (*Client, error) {
+	network, target := SplitAddr(addr)
+	conn, err := net.DialTimeout(network, target, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s %s: %w", network, target, err)
+	}
+	dec := json.NewDecoder(conn)
+	dec.UseNumber()
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: dec}, nil
+}
+
+// SplitAddr classifies a server address into a dial network and target:
+// "unix:" prefixes and paths containing a slash are unix sockets, the rest
+// TCP.
+func SplitAddr(addr string) (network, target string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if strings.Contains(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Close closes the connection (the server retires the session).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and waits for its response. A response with
+// ok=false is returned as-is, not as an error — callers inspect
+// Response.OK/Error/Code.
+func (c *Client) Do(req Request) (*Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("serve: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("serve: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// Hello announces the session's tenant.
+func (c *Client) Hello(tenant string) (*Response, error) {
+	return c.Do(Request{Op: "hello", Tenant: tenant})
+}
+
+// Query runs one SQL statement. args binds positional parameters, named
+// binds :name parameters; pass nil for whichever the statement doesn't use.
+func (c *Client) Query(sqlText string, args []any, named map[string]any) (*Response, error) {
+	return c.Do(Request{Op: "query", SQL: sqlText, Args: args, Named: named})
+}
+
+// Exec runs a local DDL/DML statement.
+func (c *Client) Exec(sqlText string) (*Response, error) {
+	return c.Do(Request{Op: "exec", SQL: sqlText})
+}
+
+// Explain returns the rendered plan without executing.
+func (c *Client) Explain(sqlText string) (*Response, error) {
+	return c.Do(Request{Op: "explain", SQL: sqlText})
+}
+
+// Stats fetches the server-wide counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.Do(Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("serve: stats: %s", resp.Error)
+	}
+	return resp.Stats, nil
+}

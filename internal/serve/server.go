@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"llmsql/internal/core"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Group supplies the per-session engines and the shared coalescing
+	// backend stack. Required.
+	Group *core.EngineGroup
+	// Admission bounds concurrency and budgets (zero value: admit
+	// everything).
+	Admission AdmissionConfig
+	// IdleTimeout closes sessions that send no request for this long
+	// (0 = never).
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives one line per session open/close and per
+	// failed request.
+	Logf func(format string, args ...any)
+}
+
+// Stats is the server-wide counter snapshot returned by the stats op.
+type Stats struct {
+	// Sessions is the number of connected sessions; TotalSessions counts
+	// every session ever accepted.
+	Sessions      int `json:"sessions"`
+	TotalSessions int `json:"total_sessions"`
+	// Queries counts requests that executed SQL (query/stmt/exec); Errors
+	// counts requests answered with ok=false, including admission
+	// rejections.
+	Queries int `json:"queries"`
+	Errors  int `json:"errors"`
+	// Admission reports slot and budget outcomes.
+	Admission AdmissionStats `json:"admission"`
+	// Group is the operator-side engine view: billed vs live usage and the
+	// coalescer's counters.
+	Group core.GroupStats `json:"group"`
+}
+
+// Server speaks the line/JSON protocol over any net.Listener. One Server
+// may serve several listeners; Shutdown drains them all.
+type Server struct {
+	cfg Config
+	adm *Admission
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	sessions  map[*session]struct{}
+	draining  bool
+	total     int
+	queries   int
+	errors    int
+	wg        sync.WaitGroup
+}
+
+// NewServer builds a server over the group.
+func NewServer(cfg Config) *Server {
+	if cfg.Group == nil {
+		panic("serve: Config.Group is required")
+	}
+	return &Server{
+		cfg:       cfg,
+		adm:       NewAdmission(cfg.Admission),
+		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[*session]struct{}),
+	}
+}
+
+// Serve accepts connections until the listener closes (normally via
+// Shutdown, which makes Serve return nil).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("serve: server is shut down")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			delete(s.listeners, ln)
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+func (s *Server) startSession(conn net.Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.total++
+	sess := newSession(s, conn, int64(s.total))
+	s.sessions[sess] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.logf("session %d: open (%s)", sess.id, conn.RemoteAddr())
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+	}()
+}
+
+// endSession removes a finished session from the registry.
+func (s *Server) endSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	s.logf("session %d: closed", sess.id)
+}
+
+// Shutdown gracefully drains the server: listeners stop accepting, idle
+// sessions are closed immediately, and sessions with a request in flight
+// finish it and receive the response before their connection closes. If ctx
+// expires first, remaining connections are closed forcibly and ctx's error
+// is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.drain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the server-wide counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Sessions:      len(s.sessions),
+		TotalSessions: s.total,
+		Queries:       s.queries,
+		Errors:        s.errors,
+	}
+	s.mu.Unlock()
+	st.Admission = s.adm.Stats()
+	st.Group = s.cfg.Group.Stats()
+	return st
+}
+
+func (s *Server) countQuery() {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+}
+
+func (s *Server) countError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

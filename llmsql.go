@@ -110,6 +110,46 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // FormatResult renders a result as an aligned text table.
 func FormatResult(res *Result) string { return core.FormatResult(res) }
 
+// ---- serving ----
+
+// EngineGroup is the multi-session serving form of the engine: many
+// Session() engines over one shared coalescing backend stack, so identical
+// scans across sessions cost one live model fan-out while every session is
+// billed exactly as if it ran solo. cmd/llmsql-serve builds one per server.
+// See core.EngineGroup.
+type EngineGroup = core.EngineGroup
+
+// GroupStats is the operator-side view of a serving group: billed vs live
+// usage and the coalescer's counters. See core.GroupStats.
+type GroupStats = core.GroupStats
+
+// NewEngineGroup assembles the shared serving stack over the model; the
+// configuration's CacheDir, CacheMaxBytes, RecordTrace, ReplayTrace and
+// CoalesceCapacity configure the shared layers, the rest stays per-session.
+// See core.NewEngineGroup.
+func NewEngineGroup(model Model, cfg Config) (*EngineGroup, error) {
+	return core.NewEngineGroup(model, cfg)
+}
+
+// Coalescer merges concurrent and (via its bounded memo) consecutive
+// identical completion requests into one inner call, preserving the
+// original response's cache flags and billing. See llm.Coalescer.
+type Coalescer = llm.Coalescer
+
+// CoalescerStats reports request-coalescing effectiveness. See
+// llm.CoalescerStats.
+type CoalescerStats = llm.CoalescerStats
+
+// NewCoalescer wraps a model with a request coalescer using the default
+// memo capacity. EngineGroup manages its own; this wrapper is for
+// standalone model stacks.
+func NewCoalescer(m Model) *Coalescer { return llm.NewCoalescer(m) }
+
+// NewCoalescerSized wraps a model with a request coalescer whose
+// completed-results memo holds capacity entries (0 selects the default,
+// negative disables the memo, keeping in-flight coalescing only).
+func NewCoalescerSized(m Model, capacity int) *Coalescer { return llm.NewCoalescerSized(m, capacity) }
+
 // ---- results and values ----
 
 // Result is a materialized query result. See exec.Result.
