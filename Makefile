@@ -9,10 +9,17 @@ REPLAY_FIXTURE := testdata/replay/bench_suite.json
 REPLAY_SCALE := 0.25
 REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14
 
-.PHONY: check fmt vet build test race staticcheck bench baseline bench-check replay-check replay-fixture fuzz docs-check
+# Single source of truth for the staticcheck pin; CI installs the same
+# version via `make staticcheck-install`.
+STATICCHECK_VERSION := 2024.1.1
+
+.PHONY: check lint fmt vet llmsqlvet build test race staticcheck staticcheck-install bench baseline bench-check replay-check replay-fixture fuzz docs-check
 
 ## check: everything the CI lint+test jobs run
-check: fmt vet build race docs-check
+check: fmt vet llmsqlvet build race docs-check
+
+## lint: the static gates only (no tests)
+lint: fmt vet llmsqlvet
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -20,6 +27,10 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+## llmsqlvet: the project-invariant analyzers (mapiter, walltime, lockheld, errwrap)
+llmsqlvet:
+	$(GO) run ./cmd/llmsqlvet ./...
 
 build:
 	$(GO) build ./...
@@ -30,9 +41,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-## staticcheck: lint with staticcheck (install: go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)
+## staticcheck: lint with staticcheck (pinned via `make staticcheck-install`)
 staticcheck:
 	staticcheck ./...
+
+## staticcheck-install: install the pinned staticcheck version (what CI runs)
+staticcheck-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 ## bench: full-scale experiment suite to stdout
 bench:

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -87,7 +88,7 @@ func main() {
 		}
 		regs, imps, n, err := compareCSV(br.ID, br.CSV, cr.CSV, *tol)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %v", br.ID, err))
+			fatal(fmt.Errorf("%s: %w", br.ID, err))
 		}
 		regressions = append(regressions, regs...)
 		improvements = append(improvements, imps...)
@@ -139,6 +140,13 @@ func compareCSV(id, baseCSV, curCSV string, tol float64) (regressions, improveme
 	for i, h := range curHdr {
 		curCol[h] = i
 	}
+	// Walk rows in sorted-label order so the report lines (and the exit
+	// path taken on ties) are identical across runs of the same inputs.
+	labels := make([]string, 0, len(baseRows))
+	for label := range baseRows {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	for bi, col := range baseHdr {
 		if !watched(col) {
 			continue
@@ -148,7 +156,8 @@ func compareCSV(id, baseCSV, curCSV string, tol float64) (regressions, improveme
 			regressions = append(regressions, fmt.Sprintf("%s: column %q missing from current run", id, col))
 			continue
 		}
-		for label, baseRow := range baseRows {
+		for _, label := range labels {
+			baseRow := baseRows[label]
 			curRow, ok := curRows[label]
 			if !ok {
 				regressions = append(regressions, fmt.Sprintf("%s [%s]: row missing from current run", id, label))
@@ -233,7 +242,7 @@ func loadRun(path string) (run, error) {
 		return r, err
 	}
 	if err := json.Unmarshal(data, &r); err != nil {
-		return r, fmt.Errorf("%s: %v", path, err)
+		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	return r, nil
 }

@@ -109,8 +109,13 @@ func lintPackage(fset *token.FileSet, dir, name string, pkg *ast.Package) []stri
 	if !apiPackages[name] {
 		return problems
 	}
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
+	filenames := make([]string, 0, len(pkg.Files))
+	for fname := range pkg.Files {
+		filenames = append(filenames, fname)
+	}
+	sort.Strings(filenames)
+	for _, fname := range filenames {
+		for _, decl := range pkg.Files[fname].Decls {
 			problems = append(problems, lintDecl(fset, decl)...)
 		}
 	}

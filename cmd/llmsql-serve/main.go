@@ -72,6 +72,7 @@ func main() {
 		tenantConc = flag.Int("tenant-concurrent", 0, "per-tenant concurrent-query limit (0 = unlimited; exceeding it rejects immediately, never queues)")
 		tenantTok  = flag.Int("tenant-tokens", 0, "per-tenant total token budget; queries from a tenant over budget are rejected (0 = unlimited)")
 		idle       = flag.Duration("idle-timeout", 0, "close sessions idle for this long (0 = never)")
+		writeWait  = flag.Duration("write-timeout", serve.DefaultWriteTimeout, "deadline for writing one response to a client (<=0 = no deadline)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests on shutdown before closing connections forcibly")
 		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
 		printFlags = flag.Bool("print-flags", false, "print the flag reference as a markdown table and exit (consumed by make docs-check)")
@@ -148,8 +149,9 @@ func main() {
 			TenantConcurrent: *tenantConc,
 			TenantTokens:     *tenantTok,
 		},
-		IdleTimeout: *idle,
-		Logf:        logf,
+		IdleTimeout:  *idle,
+		WriteTimeout: writeTimeout(*writeWait),
+		Logf:         logf,
 	})
 
 	network, target := serve.SplitAddr(*listen)
@@ -225,6 +227,15 @@ func strategyByName(name string) (core.Strategy, error) {
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", name)
 	}
+}
+
+// writeTimeout maps the flag's "<=0 disables" convention onto
+// serve.Config's "0 selects the default, negative disables".
+func writeTimeout(d time.Duration) time.Duration {
+	if d <= 0 {
+		return -1
+	}
+	return d
 }
 
 func fatal(err error) {

@@ -1,0 +1,76 @@
+// Command llmsqlvet runs the project's invariant analyzers — the
+// mechanical enforcement of the rules the replay-determinism gate only
+// spot-checks:
+//
+//	mapiter   map iteration order must never reach rows, prompts, or
+//	          other ordered output without a sort
+//	walltime  deterministic packages take time from llm.Sched's virtual
+//	          clock, never the wall clock or global rand
+//	lockheld  no Model.Complete or network I/O while holding a mutex
+//	errwrap   fmt.Errorf wraps error operands with %w, not %v/%s
+//
+// Usage:
+//
+//	llmsqlvet [-list] [packages]
+//
+// Packages default to ./... relative to the current directory, which
+// must lie inside the module. Exit status is 1 when findings remain. A
+// finding is silenced — with a mandatory written reason — by a comment
+// on the flagged line or the line above:
+//
+//	//llmsql:allow <analyzer> <reason>
+//
+// See the "Determinism invariants" section of DESIGN.md for the full
+// rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"llmsql/internal/analysis/driver"
+	"llmsql/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process plumbing, so the exit paths are testable:
+// 0 clean, 1 findings remain, 2 usage or load error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llmsqlvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := suite.All()
+	if *list {
+		for _, az := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", az.Name, az.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := driver.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "llmsqlvet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "llmsqlvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

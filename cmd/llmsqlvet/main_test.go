@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"errwrap", "lockheld", "mapiter", "walltime"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunSelf vets this command's own package — which must be clean, so
+// the zero-findings exit path is the one taken.
+func TestRunSelf(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"."}, &out, &errOut); code != 0 {
+		t.Fatalf("run(.) = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogusflag"}, &out, &errOut); code != 2 {
+		t.Errorf("run(-bogusflag) = %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"./no/such/dir/..."}, &out, &errOut); code != 2 {
+		t.Errorf("run(bad pattern) = %d, want 2; stderr: %s", code, errOut.String())
+	}
+}

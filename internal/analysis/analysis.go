@@ -1,0 +1,65 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis API: just enough surface — Analyzer, Pass,
+// Diagnostic — to write the project's invariant checkers (see the mapiter,
+// walltime, lockheld and errwrap subpackages) against the familiar shape,
+// without pulling x/tools into the module.
+//
+// The deliberate API mirroring means each checker's Run function would
+// compile against the real x/tools Pass with only an import swap, should
+// the module ever take on that dependency. What is intentionally missing:
+// Requires/ResultOf fact plumbing (the checkers are all single-pass),
+// SuggestedFixes, and the unitchecker protocol — the driver subpackage
+// loads packages and runs analyzers directly instead, so the suite works
+// offline from a plain `go build` toolchain.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //llmsql:allow suppression comments. It must be a valid
+	// identifier.
+	Name string
+	// Doc is the analyzer's help text; its first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Report. The returned value is ignored by the driver (kept in
+	// the signature for x/tools shape compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the input to an Analyzer's Run: one type-checked package.
+type Pass struct {
+	// Analyzer is the checker being run, so shared helpers can tell who
+	// is reporting.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files back to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding in p.Fset.
+	Pos token.Pos
+	// Message states the violated invariant and, where possible, the fix.
+	Message string
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"llmsql/internal/analysis"
+)
+
+func TestReportf(t *testing.T) {
+	var got []analysis.Diagnostic
+	p := &analysis.Pass{Report: func(d analysis.Diagnostic) { got = append(got, d) }}
+	p.Reportf(42, "bad %s at %d", "thing", 7)
+	if len(got) != 1 {
+		t.Fatalf("Reportf delivered %d diagnostics, want 1", len(got))
+	}
+	if got[0].Pos != 42 || got[0].Message != "bad thing at 7" {
+		t.Errorf("diagnostic = %+v, want pos 42 message %q", got[0], "bad thing at 7")
+	}
+}

@@ -1,0 +1,143 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want` comments, mirroring the
+// x/tools package of the same name.
+//
+// Fixtures live under a caller-supplied testdata root — the shared tree
+// is internal/analysis/testdata/src/<dir>/ — and may import anything
+// from the standard library (resolved from the build cache's export
+// data). An expectation is written on the line it applies to:
+//
+//	rows = append(rows, v) // want `map iteration order`
+//
+// The backquoted pattern is a regular expression matched against the
+// diagnostic message; every diagnostic must be wanted and every want must
+// be matched, or the test fails. Because some analyzers condition on the
+// package's import path (walltime's deterministic-package list), Run
+// takes the import path to type-check the fixture under, so one fixture
+// directory can be checked as `llmsql/internal/exec` and another as the
+// allowlisted `llmsql/internal/serve`.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"llmsql/internal/analysis"
+	"llmsql/internal/analysis/driver"
+)
+
+// wantRE locates a // want comment; patternRE extracts each backquoted
+// pattern after it (`// want `a` `b“ expects two diagnostics).
+var (
+	wantRE    = regexp.MustCompile("// want (.*)$")
+	patternRE = regexp.MustCompile("`([^`]*)`")
+)
+
+// Run type-checks the fixture directory testdata/src/<dir> under
+// importPath, applies az, and compares diagnostics against the fixture's
+// // want comments. testdata is the fixture root — analyzer tests in
+// internal/analysis/<name> pass "../testdata" to share the central
+// fixture tree.
+func Run(t *testing.T, testdata, dir, importPath string, az *analysis.Analyzer) {
+	t.Helper()
+	fixDir := filepath.Join(testdata, "src", dir)
+	entries, err := os.ReadDir(fixDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(fixDir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("no fixture files in %s", fixDir)
+	}
+	sort.Strings(filenames)
+
+	fset := token.NewFileSet()
+	imp := driver.NewImporter(fset, ".")
+	files, pkg, info, err := driver.TypeCheck(fset, importPath, filenames, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	// Gather expectations from the fixture sources.
+	wants := make(map[key][]*regexp.Regexp)
+	for _, name := range filenames {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pm := range patternRE.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(pm[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pm[1], err)
+				}
+				k := key{file: name, line: i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	// Collect the analyzer's diagnostics.
+	var got []driver.Finding
+	pass := &analysis.Pass{
+		Analyzer:  az,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d analysis.Diagnostic) {
+			got = append(got, driver.Finding{Analyzer: az.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		},
+	}
+	if _, err := az.Run(pass); err != nil {
+		t.Fatalf("%s: %v", az.Name, err)
+	}
+
+	// Every diagnostic must match a pending want on its line.
+	matched := make(map[key]int)
+	for _, f := range got {
+		k := key{file: f.Pos.Filename, line: f.Pos.Line}
+		res := wants[k]
+		found := false
+		for _, re := range res {
+			if re.MatchString(f.Message) {
+				found = true
+				matched[k]++
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s", f)
+		}
+	}
+	// Every want must have been matched at least once.
+	var unkeys []string
+	for k, res := range wants {
+		if matched[k] < len(res) {
+			unkeys = append(unkeys, fmt.Sprintf("%s:%d", k.file, k.line))
+		}
+	}
+	sort.Strings(unkeys)
+	for _, k := range unkeys {
+		t.Errorf("no diagnostic at %s (want unmatched)", k)
+	}
+}

@@ -1,0 +1,33 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"llmsql/internal/analysis"
+	"llmsql/internal/analysis/analysistest"
+)
+
+// metaAnalyzer flags every function declaration whose name starts with
+// "Bad" — just enough behavior to drive the harness itself through a
+// fixture with both flagged and unflagged declarations.
+var metaAnalyzer = &analysis.Analyzer{
+	Name: "meta",
+	Doc:  "flags functions named Bad* (harness self-test only)",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if ok && strings.HasPrefix(fn.Name.Name, "Bad") {
+					pass.Reportf(fn.Pos(), "function %s is flagged", fn.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestHarness(t *testing.T) {
+	analysistest.Run(t, "testdata", "meta", "llmsql/fixture/meta", metaAnalyzer)
+}

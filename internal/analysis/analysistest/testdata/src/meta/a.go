@@ -1,0 +1,13 @@
+// Package meta is the fixture for analysistest's own test: a trivial
+// analyzer flags every function whose name starts with Bad, so the
+// harness's want-matching can be exercised without a real checker.
+package meta
+
+// Good is unflagged.
+func Good() {}
+
+// BadIdea trips the meta analyzer.
+func BadIdea() {} // want `function BadIdea is flagged`
+
+// BadPlan does too, proving multiple diagnostics resolve independently.
+func BadPlan() {} // want `function BadPlan is flagged`

@@ -1,0 +1,94 @@
+// Package astq holds the small typed-AST queries shared by the invariant
+// analyzers: resolving a call expression to the *types.Func it invokes,
+// stripping an expression to its root identifier, and matching functions
+// by package path and name.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function a call expression invokes, whether spelled
+// as a plain identifier or a selector (package function, method, or
+// interface method). It returns nil for builtins, conversions, and calls
+// through function-typed values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // qualified identifier: pkg.Func
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsBuiltin reports whether a call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// PkgPath returns the import path of the package a function belongs to,
+// or "" for functions without one (error.Error and friends).
+func PkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// IsPkgLevel reports whether fn is a package-level function (no
+// receiver), e.g. time.Now as opposed to (*time.Timer).Reset.
+func IsPkgLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// RootIdent strips selectors, indexing, stars and parens off an
+// expression and returns its base identifier, or nil when the expression
+// does not bottom out in one (a call result, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Object resolves the root identifier of e to its types.Object, or nil.
+func Object(info *types.Info, e ast.Expr) types.Object {
+	id := RootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside n's source
+// span — used to tell per-iteration locals from state that outlives a
+// loop.
+func DeclaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}

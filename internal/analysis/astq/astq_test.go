@@ -1,0 +1,172 @@
+package astq_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"llmsql/internal/analysis/astq"
+)
+
+// src declares everything the queries are exercised against; it imports
+// nothing so the type checker needs no importer to resolve it.
+const src = `package fix
+
+type box struct{ v int }
+
+func (b *box) Get() int { return b.v }
+
+func plain() int { return 1 }
+
+var fnVal = plain
+
+func use() {
+	b := &box{}
+	_ = b.Get()
+	_ = plain()
+	_ = fnVal()
+	_ = len("x")
+	_ = int64(3)
+	m := map[string][]int{}
+	for k, vs := range m {
+		_ = k
+		_ = vs
+	}
+}
+`
+
+func check(t *testing.T) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fix.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	cfg := types.Config{Importer: importer.Default()}
+	if _, err := cfg.Check("fix", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, file, info
+}
+
+// calls collects every call expression in source order.
+func calls(file *ast.File) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+func TestCalleeAndBuiltin(t *testing.T) {
+	_, file, info := check(t)
+	cs := calls(file)
+	if len(cs) != 5 {
+		t.Fatalf("fixture has %d calls, want 5", len(cs))
+	}
+	method, plainCall, viaValue, lenCall, conv := cs[0], cs[1], cs[2], cs[3], cs[4]
+
+	if fn := astq.Callee(info, method); fn == nil || fn.Name() != "Get" {
+		t.Errorf("Callee(b.Get()) = %v, want method Get", fn)
+	} else {
+		if astq.IsPkgLevel(fn) {
+			t.Errorf("IsPkgLevel(Get) = true, want false (it has a receiver)")
+		}
+		if got := astq.PkgPath(fn); got != "fix" {
+			t.Errorf("PkgPath(Get) = %q, want fix", got)
+		}
+	}
+	if fn := astq.Callee(info, plainCall); fn == nil || fn.Name() != "plain" {
+		t.Errorf("Callee(plain()) = %v, want plain", fn)
+	} else if !astq.IsPkgLevel(fn) {
+		t.Errorf("IsPkgLevel(plain) = false, want true")
+	}
+	if fn := astq.Callee(info, viaValue); fn != nil {
+		t.Errorf("Callee(fnVal()) = %v, want nil (call through a value)", fn)
+	}
+	if fn := astq.Callee(info, lenCall); fn != nil {
+		t.Errorf("Callee(len(..)) = %v, want nil (builtin)", fn)
+	}
+	if fn := astq.Callee(info, conv); fn != nil {
+		t.Errorf("Callee(int64(..)) = %v, want nil (conversion)", fn)
+	}
+
+	if !astq.IsBuiltin(info, lenCall, "len") {
+		t.Errorf("IsBuiltin(len(..), len) = false, want true")
+	}
+	if astq.IsBuiltin(info, lenCall, "cap") {
+		t.Errorf("IsBuiltin(len(..), cap) = true, want false")
+	}
+	if astq.IsBuiltin(info, plainCall, "plain") {
+		t.Errorf("IsBuiltin(plain(), plain) = true, want false (not a builtin)")
+	}
+	if got := astq.PkgPath(nil); got != "" {
+		t.Errorf("PkgPath(nil) = %q, want empty", got)
+	}
+}
+
+func TestRootIdentAndObject(t *testing.T) {
+	_, file, info := check(t)
+
+	sel := &ast.SelectorExpr{
+		X:   &ast.ParenExpr{X: &ast.StarExpr{X: ast.NewIdent("p")}},
+		Sel: ast.NewIdent("f"),
+	}
+	if id := astq.RootIdent(sel); id == nil || id.Name != "p" {
+		t.Errorf("RootIdent((*p).f) = %v, want p", id)
+	}
+	idx := &ast.IndexExpr{X: ast.NewIdent("xs"), Index: ast.NewIdent("i")}
+	if id := astq.RootIdent(idx); id == nil || id.Name != "xs" {
+		t.Errorf("RootIdent(xs[i]) = %v, want xs", id)
+	}
+	lit := &ast.BasicLit{Kind: token.INT, Value: "1"}
+	if id := astq.RootIdent(lit); id != nil {
+		t.Errorf("RootIdent(1) = %v, want nil", id)
+	}
+	if obj := astq.Object(info, lit); obj != nil {
+		t.Errorf("Object(1) = %v, want nil", obj)
+	}
+
+	// Find `_ = vs` inside the range loop: its object is declared within
+	// the loop; fnVal's is not.
+	var rng *ast.RangeStmt
+	var vsUse, fnUse ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			rng = x
+		case *ast.Ident:
+			if x.Name == "vs" && info.Uses[x] != nil {
+				vsUse = x
+			}
+			if x.Name == "fnVal" && info.Uses[x] != nil {
+				fnUse = x
+			}
+		}
+		return true
+	})
+	if rng == nil || vsUse == nil || fnUse == nil {
+		t.Fatal("fixture walk did not find the range loop and uses")
+	}
+	if obj := astq.Object(info, vsUse); !astq.DeclaredWithin(obj, rng) {
+		t.Errorf("DeclaredWithin(vs, range) = false, want true")
+	}
+	if obj := astq.Object(info, fnUse); astq.DeclaredWithin(obj, rng) {
+		t.Errorf("DeclaredWithin(fnVal, range) = true, want false")
+	}
+	if astq.DeclaredWithin(nil, rng) {
+		t.Errorf("DeclaredWithin(nil, _) = true, want false")
+	}
+}

@@ -1,0 +1,329 @@
+// Package driver loads Go packages and runs the project's invariant
+// analyzers over them.
+//
+// It is the offline stand-in for the x/tools multichecker machinery:
+// package metadata and compiled export data come from `go list -export
+// -deps -json` (which works from the local build cache, no network or
+// module downloads), the packages under analysis are re-parsed and
+// type-checked from source so analyzers see full syntax trees, and their
+// imports are satisfied from export data through the standard library's gc
+// importer. Findings suppressed by a `//llmsql:allow <analyzer> <reason>`
+// comment — on the offending line or the line directly above — are
+// dropped; a suppression without a reason is itself a finding, so every
+// waiver in the tree carries a written justification.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"llmsql/internal/analysis"
+)
+
+// Finding is one surviving diagnostic, resolved to a file position.
+type Finding struct {
+	// Analyzer names the checker that produced the finding (or "driver"
+	// for suppression-syntax problems).
+	Analyzer string
+	// Pos is the finding's file:line:column.
+	Pos token.Position
+	// Message states the violated invariant.
+	Message string
+}
+
+// String renders the finding in the canonical file:line:col: analyzer:
+// message shape understood by editors.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// listPackage is the subset of `go list -json` output the driver consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Importer resolves imports from compiled export data, shelling out to
+// `go list -export` lazily for packages not seen in the initial load. It
+// is safe for sequential reuse across many type-check calls; the
+// underlying gc importer caches every package it materializes.
+type Importer struct {
+	mu      sync.Mutex
+	dir     string            // working directory for go list
+	exports map[string]string // import path -> export data file
+	gc      types.ImporterFrom
+}
+
+// NewImporter returns an Importer that runs `go list` in dir (any
+// directory inside the target module, or anywhere for std-only imports).
+func NewImporter(fset *token.FileSet, dir string) *Importer {
+	imp := &Importer{dir: dir, exports: make(map[string]string)}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup).(types.ImporterFrom)
+	return imp
+}
+
+// lookup opens the export data for path, resolving unseen paths with one
+// extra `go list -export` call.
+func (imp *Importer) lookup(path string) (io.ReadCloser, error) {
+	imp.mu.Lock()
+	file, ok := imp.exports[path]
+	imp.mu.Unlock()
+	if !ok {
+		out, err := runGoList(imp.dir, "-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, fmt.Errorf("driver: no export data for %q: %w", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("driver: empty export data path for %q", path)
+		}
+		imp.mu.Lock()
+		imp.exports[path] = file
+		imp.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// add records already-known export data files (from the initial -deps
+// load) so lookup does not have to shell out for them.
+func (imp *Importer) add(path, exportFile string) {
+	if exportFile == "" {
+		return
+	}
+	imp.mu.Lock()
+	imp.exports[path] = exportFile
+	imp.mu.Unlock()
+}
+
+// Import implements types.Importer.
+func (imp *Importer) Import(path string) (*types.Package, error) {
+	return imp.gc.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (imp *Importer) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return imp.gc.ImportFrom(path, dir, mode)
+}
+
+// runGoList invokes the go tool's list subcommand in dir.
+func runGoList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w: %s", strings.Join(args, " "), err, strings.TrimSpace(stderr.String()))
+	}
+	return out, nil
+}
+
+// newInfo allocates a types.Info with every result map analyzers may read.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// TypeCheck parses the named files and type-checks them as one package
+// with the given import path, resolving imports through imp. It returns
+// the pieces an analysis.Pass needs.
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: imp}
+	info := newInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+// Run loads the packages matched by patterns (relative to dir, which must
+// lie inside the target module), runs every analyzer over each in-module
+// package, and returns the findings that were not suppressed, sorted by
+// position. Standard-library and out-of-module dependencies are loaded
+// from export data only and never analyzed. Test files are not loaded;
+// the invariants guard what ships.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fields := "-json=Dir,ImportPath,Name,GoFiles,Export,Standard,Module,Error"
+	out, err := runGoList(dir, append([]string{"-e", "-export", "-deps", fields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, dir)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		imp.add(p.ImportPath, p.Export)
+		if p.Module != nil && !p.Standard {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+
+	var findings []Finding
+	for _, t := range targets {
+		fs, err := analyzePackage(fset, t, imp, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// analyzePackage type-checks one package from source and applies the
+// analyzers, filtering suppressed diagnostics.
+func analyzePackage(fset *token.FileSet, lp *listPackage, imp types.Importer, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var filenames []string
+	for _, f := range lp.GoFiles {
+		filenames = append(filenames, filepath.Join(lp.Dir, f))
+	}
+	if len(filenames) == 0 {
+		return nil, nil
+	}
+	files, pkg, info, err := TypeCheck(fset, lp.ImportPath, filenames, imp)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", lp.ImportPath, err)
+	}
+
+	sup, bad := collectAllows(fset, files)
+	findings := bad // malformed suppressions are findings in their own right
+	for _, az := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  az,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := az.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if sup.allows(name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := az.Run(pass); err != nil {
+			return nil, fmt.Errorf("driver: %s on %s: %w", az.Name, lp.ImportPath, err)
+		}
+	}
+	return findings, nil
+}
+
+// AllowPrefix is the suppression comment marker. The full syntax is
+//
+//	//llmsql:allow <analyzer> <reason...>
+//
+// placed on the flagged line or alone on the line directly above it. The
+// reason is mandatory: a bare waiver is reported by the driver instead of
+// honored.
+const AllowPrefix = "//llmsql:allow"
+
+// suppressions indexes allowed analyzer names by file and line.
+type suppressions map[string]map[int][]string
+
+// allows reports whether an allow for analyzer covers pos (same line or
+// the line above).
+func (s suppressions) allows(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows scans file comments for suppression markers, returning
+// the index plus driver findings for markers missing the required reason.
+func collectAllows(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
+	sup := make(suppressions)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				pos := fset.Position(c.Pos())
+				fieldsOf := strings.Fields(rest)
+				if len(fieldsOf) == 0 {
+					bad = append(bad, Finding{Analyzer: "driver", Pos: pos,
+						Message: "llmsql:allow needs an analyzer name and a reason"})
+					continue
+				}
+				if len(fieldsOf) < 2 {
+					bad = append(bad, Finding{Analyzer: "driver", Pos: pos,
+						Message: fmt.Sprintf("llmsql:allow %s needs a written reason", fieldsOf[0])})
+					continue
+				}
+				if sup[pos.Filename] == nil {
+					sup[pos.Filename] = make(map[int][]string)
+				}
+				sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], fieldsOf[0])
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,84 @@
+package driver_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llmsql/internal/analysis/driver"
+	"llmsql/internal/analysis/suite"
+)
+
+func TestFindingString(t *testing.T) {
+	f := driver.Finding{
+		Analyzer: "mapiter",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message:  "map iteration order reaches output",
+	}
+	if got, want := f.String(), "x.go:3:7: mapiter: map iteration order reaches output"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestImporterLazyLookup exercises the lazy `go list -export` path:
+// an importer constructed with no preloaded export data must still
+// resolve a stdlib package, serve it again from cache, and fail cleanly
+// on a package that does not exist.
+func TestImporterLazyLookup(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := driver.NewImporter(fset, ".")
+	pkg, err := imp.Import("fmt")
+	if err != nil {
+		t.Fatalf("Import(fmt): %v", err)
+	}
+	if pkg.Path() != "fmt" || !pkg.Complete() {
+		t.Errorf("Import(fmt) = %v (complete=%v), want complete fmt", pkg.Path(), pkg.Complete())
+	}
+	again, err := imp.Import("fmt")
+	if err != nil || again != pkg {
+		t.Errorf("second Import(fmt) = (%v, %v), want the cached package", again, err)
+	}
+	if _, err := imp.Import("no/such/package"); err == nil {
+		t.Error("Import(no/such/package) succeeded, want error")
+	}
+}
+
+// TestTypeCheck drives TypeCheck directly: a valid file resolves its
+// imports through the importer; an unparsable file and an absent file
+// both surface errors.
+func TestTypeCheck(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.go")
+	if err := os.WriteFile(good, []byte("package p\n\nimport \"strings\"\n\nfunc Up(s string) string { return strings.ToUpper(s) }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := driver.NewImporter(fset, ".")
+	files, pkg, info, err := driver.TypeCheck(fset, "tmp/p", []string{good}, imp)
+	if err != nil {
+		t.Fatalf("TypeCheck: %v", err)
+	}
+	if len(files) != 1 || pkg.Path() != "tmp/p" || len(info.Uses) == 0 {
+		t.Errorf("TypeCheck = %d files, pkg %q, %d uses; want 1 file, tmp/p, some uses",
+			len(files), pkg.Path(), len(info.Uses))
+	}
+
+	bad := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(bad, []byte("package p\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := driver.TypeCheck(fset, "tmp/bad", []string{bad}, imp); err == nil {
+		t.Error("TypeCheck on an unparsable file succeeded, want error")
+	}
+	if _, _, _, err := driver.TypeCheck(fset, "tmp/none", []string{filepath.Join(dir, "absent.go")}, imp); err == nil {
+		t.Error("TypeCheck on a missing file succeeded, want error")
+	}
+}
+
+// TestRunBadPattern checks the driver's load-failure path.
+func TestRunBadPattern(t *testing.T) {
+	if _, err := driver.Run(".", []string{"./no/such/dir/..."}, suite.All()); err == nil {
+		t.Error("Run with a bogus pattern succeeded, want error")
+	}
+}

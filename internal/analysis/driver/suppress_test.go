@@ -1,0 +1,70 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llmsql/internal/analysis/driver"
+	"llmsql/internal/analysis/suite"
+)
+
+// TestSuppression drives the full driver over a throwaway module:
+// a reasoned //llmsql:allow comment silences its finding, a bare one is
+// itself reported, and unsuppressed findings come through.
+func TestSuppression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpfix\n\ngo 1.22\n")
+	write("a.go", `package a
+
+import "fmt"
+
+func suppressed(err error) error {
+	//llmsql:allow errwrap public API hides the cause on purpose
+	return fmt.Errorf("masked: %v", err)
+}
+
+func sameLine(err error) error {
+	return fmt.Errorf("masked: %v", err) //llmsql:allow errwrap tested same-line form
+}
+
+func bareAllow(err error) error {
+	//llmsql:allow errwrap
+	return fmt.Errorf("masked: %v", err)
+}
+
+func unsuppressed(err error) error {
+	return fmt.Errorf("plain: %v", err)
+}
+`)
+	findings, err := driver.Run(dir, []string{"./..."}, suite.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	if len(findings) != 3 {
+		t.Fatalf("want 3 findings (bare allow + its finding + unsuppressed), got %d:\n%s",
+			len(findings), strings.Join(got, "\n"))
+	}
+	assertFinding := func(i int, analyzer, substr string, line int) {
+		t.Helper()
+		f := findings[i]
+		if f.Analyzer != analyzer || !strings.Contains(f.Message, substr) || f.Pos.Line != line {
+			t.Errorf("finding %d = %s; want analyzer %s line %d message containing %q",
+				i, f, analyzer, line, substr)
+		}
+	}
+	assertFinding(0, "driver", "needs a written reason", 15)
+	assertFinding(1, "errwrap", "use %w", 16)
+	assertFinding(2, "errwrap", "use %w", 20)
+}

@@ -1,0 +1,147 @@
+// Package errwrap flags fmt.Errorf calls that format an error operand
+// with %v or %s instead of %w.
+//
+// The engine facade wraps storage, planner and backend failures in
+// layered context; callers (and the serve protocol's machine-readable
+// rejection codes) rely on errors.Is/errors.As seeing through every
+// layer. A %v in the chain silently flattens the wrapped error into
+// text and breaks that contract. The analyzer parses the (constant)
+// format string, pairs verbs with operands — flags, width/precision
+// including '*', and explicit [n] argument indexes are understood — and
+// reports every error-typed operand rendered by a %v or %s verb.
+// Deliberate flattening (hiding an internal error from a public API)
+// takes an `//llmsql:allow errwrap <reason>` waiver.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"llmsql/internal/analysis"
+	"llmsql/internal/analysis/astq"
+)
+
+// Analyzer is the errwrap checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "flags fmt.Errorf formatting an error with %v/%s instead of %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astq.Callee(pass.TypesInfo, call)
+			if fn == nil || astq.PkgPath(fn) != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constString(pass.TypesInfo, call.Args[0])
+			if !ok {
+				return true
+			}
+			for _, v := range parseVerbs(format) {
+				if v.verb != 'v' && v.verb != 's' {
+					continue
+				}
+				argIdx := 1 + v.operand // call args: format, operands...
+				if argIdx >= len(call.Args) {
+					continue // malformed format; vet's printf check owns that
+				}
+				arg := call.Args[argIdx]
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok || !types.Implements(tv.Type, errType) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"error formatted with %%%c; use %%w so errors.Is/As see through the wrap", v.verb)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// constString resolves e to its constant string value if it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbUse pairs one conversion verb with the zero-based operand index it
+// consumes.
+type verbUse struct {
+	verb    rune
+	operand int
+}
+
+// parseVerbs scans a Printf format string, resolving '*' width/precision
+// and explicit [n] argument indexes the way fmt does.
+func parseVerbs(format string) []verbUse {
+	var uses []verbUse
+	next := 0 // next operand index
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// Width (possibly '*', which consumes an operand).
+		i = skipNumOrStar(format, i, &next)
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			i = skipNumOrStar(format, i, &next)
+		}
+		// Explicit argument index [n].
+		if i < len(format) && format[i] == '[' {
+			j := strings.IndexByte(format[i:], ']')
+			if j < 0 {
+				break // malformed; give up on the rest
+			}
+			if n, err := strconv.Atoi(format[i+1 : i+j]); err == nil && n >= 1 {
+				next = n - 1
+			}
+			i += j + 1
+		}
+		if i >= len(format) {
+			break
+		}
+		uses = append(uses, verbUse{verb: rune(format[i]), operand: next})
+		next++
+		i++
+	}
+	return uses
+}
+
+// skipNumOrStar advances past a numeric width/precision or a '*'
+// (consuming one operand for the latter).
+func skipNumOrStar(format string, i int, next *int) int {
+	if i < len(format) && format[i] == '*' {
+		*next++
+		return i + 1
+	}
+	for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+		i++
+	}
+	return i
+}

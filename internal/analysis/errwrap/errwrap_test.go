@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"llmsql/internal/analysis/analysistest"
+	"llmsql/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "../testdata", "errwrap", "llmsql/fixture/errwrap", errwrap.Analyzer)
+}

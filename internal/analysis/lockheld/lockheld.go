@@ -1,0 +1,195 @@
+// Package lockheld flags model calls and network I/O made while a mutex
+// acquired in the same function is still held.
+//
+// The serving stack layers per-session engines over a shared coalescer;
+// a Model.Complete call — seconds of simulated latency, real network
+// time in production — made under a sync.Mutex serializes every session
+// behind one model round-trip, and under the coalescer's own lock it is
+// a deadlock waiting to happen. The correct shape (see llm.Coalescer) is
+// lock → consult/record state → unlock → call → lock → publish.
+//
+// The analysis is a single-function, source-order walk: it tracks
+// mu.Lock()/mu.RLock() acquisitions (keyed by the receiver expression),
+// releases via mu.Unlock()/mu.RUnlock(), treats `defer mu.Unlock()` as
+// holding until return, and reports any blocking call — a method named
+// Complete, or dialing/serving calls into net and net/http — reached
+// while the held-set is non-empty. Branch-sensitive release patterns
+// (unlock-and-return in an if body) are approximated in source order, so
+// rare legitimate hold-across-call sites need an `//llmsql:allow
+// lockheld <reason>` waiver.
+package lockheld
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"llmsql/internal/analysis"
+	"llmsql/internal/analysis/astq"
+)
+
+// Analyzer is the lockheld checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "flags Model.Complete and network I/O while a mutex is held",
+	Run:  run,
+}
+
+// netBlocking lists package-level blocking entry points per package.
+var netBlocking = map[string]map[string]bool{
+	"net": {
+		"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+		"DialUnix": true, "DialIP": true, "Listen": true, "ListenTCP": true,
+		"ListenUnix": true, "ListenPacket": true, "LookupHost": true, "LookupAddr": true,
+	},
+	"net/http": {
+		"Get": true, "Post": true, "PostForm": true, "Head": true,
+		"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true,
+	},
+}
+
+// httpClientMethods are the blocking *http.Client methods.
+var httpClientMethods = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return false // checkBody descends into nested literals itself
+			case *ast.FuncLit:
+				// Reached only for literals outside any FuncDecl (package
+				// var initializers); function-local literals are walked by
+				// their enclosing checkBody.
+				checkBody(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody walks one function body in source order, tracking the set of
+// held mutexes and reporting blocking calls made while it is non-empty.
+// Nested function literals get a fresh held-set: they do not run at
+// their lexical position, and a literal handed to another goroutine does
+// not hold its creator's locks.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := make(map[string]bool)
+	var heldNames []string // insertion-ordered for stable messages
+
+	release := func(key string) {
+		if held[key] {
+			delete(held, key)
+			for i, n := range heldNames {
+				if n == key {
+					heldNames = append(heldNames[:i], heldNames[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, x.Body)
+			return false
+
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to return; a deferred
+			// closure still gets its own body checked.
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				checkBody(pass, lit.Body)
+			}
+			return false
+
+		case *ast.CallExpr:
+			if key, op, ok := lockOp(pass.TypesInfo, x); ok {
+				switch op {
+				case "Lock", "RLock":
+					if !held[key] {
+						held[key] = true
+						heldNames = append(heldNames, key)
+					}
+				case "Unlock", "RUnlock":
+					release(key)
+				}
+				return true
+			}
+			if len(heldNames) > 0 {
+				if what, ok := blockingCall(pass.TypesInfo, x); ok {
+					pass.Reportf(x.Pos(), "%s called while holding %s: release the lock before blocking calls",
+						what, strings.Join(heldNames, ", "))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes calls to sync.Mutex/RWMutex lock methods (including
+// through embedding) and returns the receiver expression as the lock's
+// identity plus the operation name.
+func lockOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := astq.Callee(info, call)
+	if fn == nil || astq.PkgPath(fn) != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// blockingCall recognizes the calls that must not run under a lock and
+// names them for the diagnostic.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := astq.Callee(info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg := astq.PkgPath(fn)
+	if astq.IsPkgLevel(fn) {
+		if netBlocking[pkg][fn.Name()] {
+			return pkg + "." + fn.Name(), true
+		}
+		return "", false
+	}
+	// Methods: any Complete (the Model contract), and http.Client's
+	// request methods.
+	if fn.Name() == "Complete" {
+		return recvString(fn) + ".Complete", true
+	}
+	if pkg == "net/http" && httpClientMethods[fn.Name()] {
+		return "http.Client." + fn.Name(), true
+	}
+	return "", false
+}
+
+// recvString names a method's receiver type for diagnostics.
+func recvString(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(t, nil)
+}

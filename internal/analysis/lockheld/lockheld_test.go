@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"llmsql/internal/analysis/analysistest"
+	"llmsql/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, "../testdata", "lockheld", "llmsql/fixture/lockheld", lockheld.Analyzer)
+}

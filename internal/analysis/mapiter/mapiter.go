@@ -1,0 +1,212 @@
+// Package mapiter flags `range` loops over maps whose iteration order can
+// leak into ordered output — the number-one way to silently break the
+// engine's byte-identical-rows guarantee.
+//
+// Go randomizes map iteration order on purpose, so anything
+// order-sensitive built inside such a loop is nondeterministic: rows,
+// prompt strings, deparsed SQL, log lines, any appended slice. The
+// analyzer reports a map range whose body
+//
+//   - appends to a slice that outlives the loop, unless that slice is
+//     passed to a sort.* / slices.Sort* call later in the same function
+//     (the canonical collect-then-sort idiom),
+//   - concatenates onto a string that outlives the loop,
+//   - writes into a strings.Builder, bytes.Buffer or io.Writer that
+//     outlives the loop,
+//   - sends on a channel, or
+//   - prints via fmt.Print*/Fprint*.
+//
+// Pure order-insensitive bodies — counters, min/max folds, writes into
+// another map, delete — pass clean. Collecting into a slice that a
+// *caller* sorts is invisible to this single-function analysis; such
+// sites need an `//llmsql:allow mapiter <reason>` waiver, which is the
+// point: every escape of map order from a loop carries a written
+// justification.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"llmsql/internal/analysis"
+	"llmsql/internal/analysis/astq"
+)
+
+// Analyzer is the mapiter checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration whose order can reach rows, prompts, or other ordered output",
+	Run:  run,
+}
+
+// sortFuncs are the calls that establish a deterministic order for a
+// collected slice, keyed by package path.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// writeMethods are the ordered-sink methods on builders, buffers and
+// writers.
+var writeMethods = map[string]bool{
+	"WriteString": true, "WriteByte": true, "WriteRune": true, "Write": true,
+}
+
+// printFuncs are the fmt functions that emit directly in argument order.
+var printFuncs = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc inspects every map range inside one top-level function
+// (function literals included — a sort anywhere later in the same
+// top-level body still counts as the ordering step).
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fn, rng)
+		return true
+	})
+}
+
+// checkMapRange hunts for order-sensitive sinks in one map range body.
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "send inside map iteration: channel receives values in map order")
+
+		case *ast.AssignStmt:
+			checkStringConcat(pass, rng, x)
+
+		case *ast.CallExpr:
+			switch {
+			case astq.IsBuiltin(info, x, "append"):
+				checkAppend(pass, fn, rng, x)
+			default:
+				checkCallSink(pass, rng, x)
+			}
+		}
+		return true
+	})
+}
+
+// checkAppend flags append calls whose destination outlives the loop and
+// is never sorted afterwards in the same function.
+func checkAppend(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := astq.Object(pass.TypesInfo, call.Args[0])
+	if dst == nil {
+		// Can't resolve the destination; stay quiet rather than guess.
+		return
+	}
+	if astq.DeclaredWithin(dst, rng.Body) {
+		return // per-iteration slice, order can't escape the iteration
+	}
+	if sortedAfter(pass.TypesInfo, fn, rng, dst) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %s inside map iteration without a later sort: slice order follows map order", dst.Name())
+}
+
+// sortedAfter reports whether obj is passed to a recognized sort call
+// after the range statement, anywhere in the enclosing function.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		callee := astq.Callee(info, call)
+		if callee == nil || !sortFuncs[astq.PkgPath(callee)][callee.Name()] {
+			return true
+		}
+		if astq.Object(info, call.Args[0]) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkStringConcat flags `s += ...` where s outlives the loop.
+func checkStringConcat(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	if as.Tok.String() != "+=" || len(as.Lhs) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[as.Lhs[0]]
+	if !ok {
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString == 0 {
+		return
+	}
+	dst := astq.Object(pass.TypesInfo, as.Lhs[0])
+	if dst == nil || astq.DeclaredWithin(dst, rng.Body) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"string built inside map iteration: %s concatenates in map order", dst.Name())
+}
+
+// checkCallSink flags writer methods and fmt printing inside the loop.
+func checkCallSink(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	callee := astq.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if astq.PkgPath(callee) == "fmt" && printFuncs[callee.Name()] {
+		pass.Reportf(call.Pos(), "fmt.%s inside map iteration emits in map order", callee.Name())
+		return
+	}
+	if !writeMethods[callee.Name()] || astq.IsPkgLevel(callee) {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := astq.Object(pass.TypesInfo, sel.X)
+	if recv == nil || astq.DeclaredWithin(recv, rng.Body) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s inside map iteration writes in map order", recv.Name(), callee.Name())
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"llmsql/internal/analysis/analysistest"
+	"llmsql/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "../testdata", "mapiter", "llmsql/fixture/mapiter", mapiter.Analyzer)
+}

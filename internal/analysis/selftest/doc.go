@@ -1,0 +1,5 @@
+// Package selftest runs the llmsqlvet analyzer suite over this module
+// from inside `go test`, so an invariant violation fails the ordinary
+// test run — not just the separate lint-llmsqlvet CI job. The package
+// has no non-test code beyond this doc.
+package selftest

@@ -1,0 +1,29 @@
+package selftest_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"llmsql/internal/analysis/driver"
+	"llmsql/internal/analysis/suite"
+)
+
+// TestLlmsqlvetOnSelf is the vet-tool-on-itself gate: every package of
+// this module must pass the invariant analyzers, with any waiver spelled
+// as a reasoned //llmsql:allow comment. One t.Error per finding keeps the
+// failure output identical to what `make llmsqlvet` prints.
+func TestLlmsqlvetOnSelf(t *testing.T) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	findings, err := driver.Run(root, []string{"./..."}, suite.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

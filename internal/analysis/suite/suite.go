@@ -1,0 +1,21 @@
+// Package suite enumerates the project's invariant analyzers in the one
+// place the multichecker binary, the self-test and the docs all share.
+package suite
+
+import (
+	"llmsql/internal/analysis"
+	"llmsql/internal/analysis/errwrap"
+	"llmsql/internal/analysis/lockheld"
+	"llmsql/internal/analysis/mapiter"
+	"llmsql/internal/analysis/walltime"
+)
+
+// All returns every analyzer cmd/llmsqlvet runs, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errwrap.Analyzer,
+		lockheld.Analyzer,
+		mapiter.Analyzer,
+		walltime.Analyzer,
+	}
+}

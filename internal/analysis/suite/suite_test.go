@@ -1,0 +1,25 @@
+package suite_test
+
+import (
+	"testing"
+
+	"llmsql/internal/analysis/suite"
+)
+
+// TestAll pins the suite roster: cmd/llmsqlvet -list, the selftest gate
+// and the //llmsql:allow vocabulary all key off these names.
+func TestAll(t *testing.T) {
+	want := []string{"errwrap", "lockheld", "mapiter", "walltime"}
+	got := suite.All()
+	if len(got) != len(want) {
+		t.Fatalf("suite.All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, az := range got {
+		if az.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, az.Name, want[i])
+		}
+		if az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %q is missing Doc or Run", az.Name)
+		}
+	}
+}

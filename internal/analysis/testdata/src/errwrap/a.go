@@ -1,0 +1,41 @@
+// Package fixture exercises the errwrap analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+type myErr struct{}
+
+func (myErr) Error() string { return "my" }
+
+func flagged(err error) {
+	_ = fmt.Errorf("scan failed: %v", err)           // want `use %w`
+	_ = fmt.Errorf("scan failed: %s", err)           // want `use %w`
+	_ = fmt.Errorf("scan failed: %+v", err)          // want `use %w`
+	_ = fmt.Errorf("x %d y: %v", 7, err)             // want `use %w`
+	_ = fmt.Errorf("pad %*d: %v", 4, 7, err)         // want `use %w`
+	_ = fmt.Errorf("again: %[1]v and %[1]v", err)    // want `use %w` `use %w`
+	_ = fmt.Errorf("concrete: %v", myErr{})          // want `use %w`
+	_ = fmt.Errorf("both: %w then %v", errBase, err) // want `use %w`
+	_ = fmt.Errorf("const "+"join: %v: done", err)   // want `use %w`
+	wrapped := fmt.Errorf("deep: %v", flatten(err))  // want `use %w`
+	_ = wrapped
+}
+
+func clean(err error) {
+	_ = fmt.Errorf("scan failed: %w", err)
+	_ = fmt.Errorf("count %d of %s", 3, "x")
+	_ = fmt.Errorf("stringified: %v", err.Error())
+	_ = fmt.Errorf("type only: %T", err)
+	_ = fmt.Errorf("no operands")
+	_ = fmt.Errorf("literal percent %% then %d", 1)
+	_ = errors.New("not Errorf at all")
+	f := "dynamic: %v" // non-constant format: vet's printf check owns it
+	_ = fmt.Errorf(f, err)
+}
+
+func flatten(err error) error { return err }

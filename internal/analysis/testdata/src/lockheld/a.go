@@ -1,0 +1,75 @@
+// Package fixture exercises the lockheld analyzer.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+type request struct{ prompt string }
+
+type response struct{ text string }
+
+type model struct{}
+
+func (model) Complete(req request) (response, error) { return response{}, nil }
+
+type cache struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	inner model
+	memo  map[string]response
+}
+
+func (c *cache) deferUnlockHeld(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Complete(req) // want `model.Complete called while holding c.mu`
+}
+
+func (c *cache) rlockHeld(req request) (response, error) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.inner.Complete(req) // want `model.Complete called while holding c.rw`
+}
+
+func (c *cache) dialHeld() (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return net.Dial("tcp", "localhost:1") // want `net.Dial called while holding c.mu`
+}
+
+func (c *cache) unlockFirst(req request) (response, error) {
+	c.mu.Lock()
+	if r, ok := c.memo[req.prompt]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+	r, err := c.inner.Complete(req) // released above: allowed
+	c.mu.Lock()
+	c.memo[req.prompt] = r
+	c.mu.Unlock()
+	return r, err
+}
+
+func (c *cache) goroutineOwnsNoLock(req request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		// A spawned goroutine does not hold its creator's lock.
+		_, _ = c.inner.Complete(req)
+	}()
+}
+
+func (c *cache) deferredClosure(req request) {
+	defer func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		_, _ = c.inner.Complete(req) // want `model.Complete called while holding c.mu`
+	}()
+}
+
+func (c *cache) noLockAtAll(req request) (response, error) {
+	return c.inner.Complete(req) // no lock in sight: allowed
+}

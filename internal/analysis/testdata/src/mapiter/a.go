@@ -1,0 +1,91 @@
+// Package fixture exercises the mapiter analyzer.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration without a later sort`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom: allowed
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSliceSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // sorted below via sort.Slice: allowed
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func perIterationSlice(m map[string][]string, out map[string]string) {
+	for k, parts := range m {
+		var quoted []string
+		for _, p := range parts {
+			quoted = append(quoted, "'"+p+"'") // per-iteration slice: allowed
+		}
+		out[k] = strings.Join(quoted, ",")
+	}
+}
+
+func stringConcat(m map[string]int) string {
+	var s string
+	for k := range m {
+		s += k // want `string built inside map iteration`
+	}
+	return s
+}
+
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send inside map iteration`
+	}
+}
+
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b.WriteString inside map iteration`
+	}
+	return b.String()
+}
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside map iteration`
+	}
+}
+
+func orderInsensitive(m map[string]int) (int, map[string]bool) {
+	n := 0
+	seen := make(map[string]bool)
+	for k, v := range m {
+		n += v         // commutative fold: allowed
+		seen[k] = true // map write: allowed
+		delete(m, k)
+	}
+	return n, seen
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slice iteration is ordered: allowed
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises the walltime analyzer; the test type-checks
+// it under a deterministic import path (llmsql/internal/exec).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flagged() {
+	_ = time.Now()                     // want `time.Now in deterministic package`
+	_ = time.Since(time.Time{})        // want `time.Since in deterministic package`
+	time.Sleep(time.Millisecond)       // want `time.Sleep in deterministic package`
+	<-time.After(time.Second)          // want `time.After in deterministic package`
+	_ = time.NewTimer(time.Second)     // want `time.NewTimer in deterministic package`
+	_ = rand.Intn(10)                  // want `global rand.Intn in deterministic package`
+	_ = rand.Float64()                 // want `global rand.Float64 in deterministic package`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand.Shuffle in deterministic package`
+}
+
+func clean(virtualNow func() time.Duration) {
+	r := rand.New(rand.NewSource(42)) // seeded constructor: allowed
+	_ = r.Intn(10)                    // method on a seeded generator: allowed
+	_ = virtualNow()                  // virtual clock: allowed
+	_ = time.Duration(5) * time.Millisecond
+	_ = time.Unix(0, 0)
+	d, _ := time.ParseDuration("3s")
+	_ = d
+}

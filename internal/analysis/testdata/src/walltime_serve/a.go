@@ -1,0 +1,11 @@
+// Package fixture is the walltime negative case: the same wall-clock
+// calls type-checked under llmsql/internal/serve, which is outside the
+// deterministic set — real network deadlines are that package's job.
+package fixture
+
+import "time"
+
+func deadlines() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now().Add(30 * time.Second)
+}

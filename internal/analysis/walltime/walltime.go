@@ -1,0 +1,109 @@
+// Package walltime forbids wall-clock time and unseeded global randomness
+// inside the engine's deterministic packages.
+//
+// The reproduction's replay gate proves that a query produces
+// byte-identical rows, stats and simulated latency on every run; that
+// only holds if the deterministic core (internal/core, exec, plan, llm,
+// sql, world, bench) takes time exclusively from llm.Sched's virtual
+// clock and randomness exclusively from explicitly seeded generators.
+// This analyzer flags, in those packages only:
+//
+//   - time.Now, time.Since, time.Until, time.Sleep, time.After,
+//     time.AfterFunc, time.Tick, time.NewTimer, time.NewTicker — real
+//     clocks and timers;
+//   - package-level math/rand and math/rand/v2 calls (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...), which draw from the globally
+//     seeded source. Constructing a seeded generator (rand.New,
+//     rand.NewSource, rand.NewPCG, rand.NewChaCha8, rand.NewZipf) and
+//     calling methods on it is fine.
+//
+// Packages outside the deterministic set — internal/serve's real network
+// deadlines, the cmd/ binaries' progress timers — are not checked.
+package walltime
+
+import (
+	"go/ast"
+	"strings"
+
+	"llmsql/internal/analysis"
+	"llmsql/internal/analysis/astq"
+)
+
+// Analyzer is the walltime checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbids wall-clock time and unseeded randomness in the deterministic packages",
+	Run:  run,
+}
+
+// deterministic lists the package import paths (and, implicitly, their
+// subpackages) where virtual time is the law.
+var deterministic = []string{
+	"llmsql/internal/core",
+	"llmsql/internal/exec",
+	"llmsql/internal/plan",
+	"llmsql/internal/llm",
+	"llmsql/internal/sql",
+	"llmsql/internal/world",
+	"llmsql/internal/bench",
+}
+
+// timeFuncs are the package-level time functions that read the real
+// clock or arm real timers.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededCtors are the math/rand constructors that are allowed because
+// they only build explicitly seeded generators.
+var seededCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Deterministic reports whether pkgPath falls under the deterministic
+// set (exported so the self-test and docs can enumerate the same list).
+func Deterministic(pkgPath string) bool {
+	for _, p := range deterministic {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astq.Callee(pass.TypesInfo, call)
+			if fn == nil || !astq.IsPkgLevel(fn) {
+				return true
+			}
+			switch astq.PkgPath(fn) {
+			case "time":
+				if timeFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s in deterministic package %s: take time from llm.Sched's virtual clock",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededCtors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global rand.%s in deterministic package %s: use an explicitly seeded *rand.Rand",
+						fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,36 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"llmsql/internal/analysis/analysistest"
+	"llmsql/internal/analysis/walltime"
+)
+
+// TestWalltime checks the same rules twice: the fixture type-checked
+// under a deterministic import path must produce every wanted
+// diagnostic, and a wall-clock-using fixture under internal/serve's
+// path must produce none.
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "../testdata", "walltime", "llmsql/internal/exec", walltime.Analyzer)
+	analysistest.Run(t, "../testdata", "walltime_serve", "llmsql/internal/serve", walltime.Analyzer)
+}
+
+func TestDeterministicList(t *testing.T) {
+	for _, p := range []string{
+		"llmsql/internal/core", "llmsql/internal/exec", "llmsql/internal/plan",
+		"llmsql/internal/llm", "llmsql/internal/sql", "llmsql/internal/world",
+		"llmsql/internal/bench", "llmsql/internal/llm/sub",
+	} {
+		if !walltime.Deterministic(p) {
+			t.Errorf("Deterministic(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{
+		"llmsql/internal/serve", "llmsql/internal/llmx", "llmsql", "llmsql/cmd/llmsql",
+	} {
+		if walltime.Deterministic(p) {
+			t.Errorf("Deterministic(%q) = true, want false", p)
+		}
+	}
+}

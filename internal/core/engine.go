@@ -295,16 +295,16 @@ func insertRows(tbl *storage.Table, st *sql.InsertStmt) error {
 		for i, ex := range exprs {
 			c, err := expr.Compile(ex, rel.Schema{})
 			if err != nil {
-				return fmt.Errorf("core: row %d value %d: %v", rowIdx+1, i+1, err)
+				return fmt.Errorf("core: row %d value %d: %w", rowIdx+1, i+1, err)
 			}
 			v, err := c.Eval(nil)
 			if err != nil {
-				return fmt.Errorf("core: row %d value %d: %v", rowIdx+1, i+1, err)
+				return fmt.Errorf("core: row %d value %d: %w", rowIdx+1, i+1, err)
 			}
 			row[target[i]] = v
 		}
 		if err := tbl.Insert(row); err != nil {
-			return fmt.Errorf("core: row %d: %v", rowIdx+1, err)
+			return fmt.Errorf("core: row %d: %w", rowIdx+1, err)
 		}
 	}
 	return nil

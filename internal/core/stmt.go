@@ -191,7 +191,7 @@ func (e *Engine) makeBindings(pq *preparedQuery, args []any) (*sql.Bindings, err
 		for k, a := range raw {
 			v, err := toValue(a)
 			if err != nil {
-				return nil, fmt.Errorf("sql: argument %q: %v", k, err)
+				return nil, fmt.Errorf("sql: argument %q: %w", k, err)
 			}
 			vals[k] = v
 		}
@@ -204,7 +204,7 @@ func (e *Engine) makeBindings(pq *preparedQuery, args []any) (*sql.Bindings, err
 	for i, a := range args {
 		v, err := toValue(a)
 		if err != nil {
-			return nil, fmt.Errorf("sql: argument %d: %v", i+1, err)
+			return nil, fmt.Errorf("sql: argument %d: %w", i+1, err)
 		}
 		vals[i] = v
 	}

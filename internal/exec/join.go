@@ -71,18 +71,18 @@ func (b *builder) prepareHashJoin(n *plan.JoinNode) (*hashJoin, error) {
 
 	leftEvals, err := keyEvaluators(n.LeftKey, leftSchema)
 	if err != nil {
-		return nil, fmt.Errorf("exec: left join key: %v", err)
+		return nil, fmt.Errorf("exec: left join key: %w", err)
 	}
 	rightEvals, err := keyEvaluators(n.RightKey, rightSchema)
 	if err != nil {
-		return nil, fmt.Errorf("exec: right join key: %v", err)
+		return nil, fmt.Errorf("exec: right join key: %w", err)
 	}
 
 	var residual func(rel.Row) (rel.Tristate, error)
 	if n.Residual != nil {
 		residual, err = expr.CompileBool(n.Residual, leftSchema.Concat(rightSchema))
 		if err != nil {
-			return nil, fmt.Errorf("exec: join residual: %v", err)
+			return nil, fmt.Errorf("exec: join residual: %w", err)
 		}
 	}
 
@@ -442,7 +442,7 @@ func (b *builder) buildNestedLoopJoin(n *plan.JoinNode) (RowIter, error) {
 		var err error
 		pred, err = expr.CompileBool(on, leftSchema.Concat(rightSchema))
 		if err != nil {
-			return nil, fmt.Errorf("exec: join predicate: %v", err)
+			return nil, fmt.Errorf("exec: join predicate: %w", err)
 		}
 	}
 

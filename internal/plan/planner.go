@@ -64,12 +64,12 @@ func (p *planner) planSelect(sel *sql.SelectStmt) (Node, error) {
 			limit, offset := int64(-1), int64(0)
 			if sel.Limit != nil {
 				if limit, err = constInt(sel.Limit); err != nil {
-					return nil, fmt.Errorf("plan: LIMIT must be a constant integer: %v", err)
+					return nil, fmt.Errorf("plan: LIMIT must be a constant integer: %w", err)
 				}
 			}
 			if sel.Offset != nil {
 				if offset, err = constInt(sel.Offset); err != nil {
-					return nil, fmt.Errorf("plan: OFFSET must be a constant integer: %v", err)
+					return nil, fmt.Errorf("plan: OFFSET must be a constant integer: %w", err)
 				}
 			}
 			node = &LimitNode{Child: node, Limit: limit, Offset: offset}
@@ -205,7 +205,7 @@ func (p *planner) finishSelect(sel *sql.SelectStmt, node Node, constant bool) (N
 		if !matched {
 			// Hidden column over the pre-projection schema.
 			if _, err := expr.Compile(o.Expr, node.Schema()); err != nil {
-				return nil, fmt.Errorf("plan: cannot resolve ORDER BY expression: %v", err)
+				return nil, fmt.Errorf("plan: cannot resolve ORDER BY expression: %w", err)
 			}
 			ref.hidden = o.Expr
 		}
@@ -266,14 +266,14 @@ func (p *planner) finishSelect(sel *sql.SelectStmt, node Node, constant bool) (N
 		if sel.Limit != nil {
 			v, err := constInt(sel.Limit)
 			if err != nil {
-				return nil, fmt.Errorf("plan: LIMIT must be a constant integer: %v", err)
+				return nil, fmt.Errorf("plan: LIMIT must be a constant integer: %w", err)
 			}
 			limit = v
 		}
 		if sel.Offset != nil {
 			v, err := constInt(sel.Offset)
 			if err != nil {
-				return nil, fmt.Errorf("plan: OFFSET must be a constant integer: %v", err)
+				return nil, fmt.Errorf("plan: OFFSET must be a constant integer: %w", err)
 			}
 			offset = v
 		}
@@ -365,7 +365,7 @@ func (p *planner) planFrom(t sql.TableExpr) (Node, error) {
 		if tt.On != nil {
 			// Validate the predicate compiles over left++right.
 			if _, err := expr.CompileBool(tt.On, join.Left.Schema().Concat(join.Right.Schema())); err != nil {
-				return nil, fmt.Errorf("plan: join predicate: %v", err)
+				return nil, fmt.Errorf("plan: join predicate: %w", err)
 			}
 		}
 		return join, nil
@@ -406,14 +406,14 @@ func (p *planner) applyWhere(node Node, where sql.Expr) (Node, error) {
 			RightKey: []sql.Expr{&sql.ColumnRef{Table: rightCol.Table, Name: rightCol.Name}},
 		}
 		if _, err := expr.Compile(in.X, node.Schema()); err != nil {
-			return nil, fmt.Errorf("plan: IN subquery target: %v", err)
+			return nil, fmt.Errorf("plan: IN subquery target: %w", err)
 		}
 		node = join
 	}
 	if len(rest) > 0 {
 		pred := sql.JoinConjuncts(rest)
 		if _, err := expr.CompileBool(pred, node.Schema()); err != nil {
-			return nil, fmt.Errorf("plan: WHERE: %v", err)
+			return nil, fmt.Errorf("plan: WHERE: %w", err)
 		}
 		node = &FilterNode{Child: node, Pred: pred}
 	}
@@ -462,7 +462,7 @@ func (p *planner) planAggregate(node Node, sel *sql.SelectStmt, items []sql.Sele
 		g = resolveAliasRef(g, items, childSchema)
 		c, err := expr.Compile(g, childSchema)
 		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("plan: GROUP BY: %v", err)
+			return nil, nil, nil, nil, fmt.Errorf("plan: GROUP BY: %w", err)
 		}
 		name := fmt.Sprintf("#g%d", i)
 		agg.GroupBy = append(agg.GroupBy, g)
@@ -483,7 +483,7 @@ func (p *planner) planAggregate(node Node, sel *sql.SelectStmt, items []sql.Sele
 			spec.Arg = f.Args[0]
 			c, err := expr.Compile(spec.Arg, childSchema)
 			if err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("plan: %s argument: %v", f.Name, err)
+				return nil, nil, nil, nil, fmt.Errorf("plan: %s argument: %w", f.Name, err)
 			}
 			switch f.Name {
 			case "COUNT":
@@ -742,7 +742,7 @@ func (p *planner) expandItems(items []sql.SelectItem, in rel.Schema, names []str
 		}
 		c, err := expr.Compile(item.Expr, in)
 		if err != nil {
-			return nil, nil, fmt.Errorf("plan: SELECT item %d: %v", i+1, err)
+			return nil, nil, fmt.Errorf("plan: SELECT item %d: %w", i+1, err)
 		}
 		name := ""
 		if names != nil {

@@ -21,6 +21,10 @@ type Config struct {
 	// IdleTimeout closes sessions that send no request for this long
 	// (0 = never).
 	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write so a stalled client can
+	// neither wedge the drain handshake nor pin a session forever
+	// (0 selects DefaultWriteTimeout; negative disables the deadline).
+	WriteTimeout time.Duration
 	// Logf, when non-nil, receives one line per session open/close and per
 	// failed request.
 	Logf func(format string, args ...any)
@@ -60,10 +64,20 @@ type Server struct {
 	wg        sync.WaitGroup
 }
 
+// DefaultWriteTimeout is the response-write deadline used when
+// Config.WriteTimeout is zero.
+const DefaultWriteTimeout = 30 * time.Second
+
 // NewServer builds a server over the group.
 func NewServer(cfg Config) *Server {
 	if cfg.Group == nil {
 		panic("serve: Config.Group is required")
+	}
+	switch {
+	case cfg.WriteTimeout == 0:
+		cfg.WriteTimeout = DefaultWriteTimeout
+	case cfg.WriteTimeout < 0:
+		cfg.WriteTimeout = 0
 	}
 	return &Server{
 		cfg:       cfg,
@@ -140,6 +154,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	sessions := make([]*session, 0, len(s.sessions))
 	for sess := range s.sessions {
+		//llmsql:allow mapiter drain order is irrelevant: every session retires independently and Shutdown waits on all of them
 		sessions = append(sessions, sess)
 	}
 	s.mu.Unlock()

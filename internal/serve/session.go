@@ -90,7 +90,9 @@ func (s *session) run() {
 		}
 		// Writes get a deadline too, so a stalled client cannot wedge the
 		// drain handshake.
-		s.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if wt := s.server.cfg.WriteTimeout; wt > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(wt))
+		}
 		err := enc.Encode(resp)
 		s.conn.SetWriteDeadline(time.Time{})
 

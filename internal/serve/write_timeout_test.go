@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"llmsql/internal/core"
+	"llmsql/internal/llm"
+)
+
+// TestWriteTimeoutResolution pins the Config.WriteTimeout conventions:
+// zero selects DefaultWriteTimeout (the previously hard-coded 30s),
+// negative disables the deadline, positive passes through.
+func TestWriteTimeoutResolution(t *testing.T) {
+	w := testWorld()
+	g, err := core.NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), servingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, DefaultWriteTimeout},
+		{-1, 0},
+		{5 * time.Second, 5 * time.Second},
+	}
+	for _, tc := range cases {
+		srv := NewServer(Config{Group: g, WriteTimeout: tc.in})
+		if got := srv.cfg.WriteTimeout; got != tc.want {
+			t.Errorf("WriteTimeout %v resolved to %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if DefaultWriteTimeout != 30*time.Second {
+		t.Errorf("DefaultWriteTimeout = %v, want the historical 30s", DefaultWriteTimeout)
+	}
+}
+
+// TestWriteTimeoutServes makes sure an explicit (and a disabled) write
+// deadline still serves ordinary traffic end to end.
+func TestWriteTimeoutServes(t *testing.T) {
+	for _, wt := range []time.Duration{2 * time.Second, -1} {
+		w := testWorld()
+		g, err := core.NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), servingConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		addr, _ := startServer(t, g, Config{WriteTimeout: wt})
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		resp, err := c.Do(Request{Op: "ping"})
+		if err != nil || !resp.OK {
+			t.Fatalf("ping with WriteTimeout=%v: %+v err=%v", wt, resp, err)
+		}
+	}
+}

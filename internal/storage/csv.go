@@ -73,7 +73,7 @@ func (t *Table) ImportCSV(r io.Reader) (int, error) {
 			}
 			v, err := rel.ParseTyped(record[fi], t.schema.Col(ci).Type)
 			if err != nil {
-				return n, fmt.Errorf("storage: row %d column %s: %v", n+1, t.schema.Col(ci).Name, err)
+				return n, fmt.Errorf("storage: row %d column %s: %w", n+1, t.schema.Col(ci).Name, err)
 			}
 			row[ci] = v
 		}

@@ -109,7 +109,7 @@ func (t *Table) Insert(row rel.Row) error {
 	for i, v := range row {
 		cv, err := rel.Coerce(v, t.schema.Col(i).Type)
 		if err != nil {
-			return fmt.Errorf("storage: %s.%s: %v", t.name, t.schema.Col(i).Name, err)
+			return fmt.Errorf("storage: %s.%s: %w", t.name, t.schema.Col(i).Name, err)
 		}
 		stored[i] = cv
 	}
