@@ -4,16 +4,24 @@ GO ?= go
 # never clobber each other. CI sets it to a workspace path to upload the
 # JSON as an artifact when the gate fails.
 BENCH_CURRENT ?=
-BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14,Figure 8,Frontend
+BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14,Table 15,Figure 8,Frontend
 REPLAY_FIXTURE := testdata/replay/bench_suite.json
 REPLAY_SCALE := 0.25
 REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14
+# chaos-check runs the replayed efficiency suite with seeded fault
+# injection on top (the chaos layer sits above the trace layer, so the two
+# compose): each pinned seed must produce byte-identical output across two
+# runs (fault streams are keyed on fingerprints, not timing), and the suite
+# must complete — zero failed queries — because retries and PartialResults
+# absorb every injected fault.
+CHAOS_SEEDS := 7 1337 99991
+CHAOS_FLAGS := -scale $(REPLAY_SCALE) -replay $(REPLAY_FIXTURE) -only "$(REPLAY_ONLY)" -chaos-error 0.10 -chaos-ratelimit 0.05 -chaos-spike 0.2 -hedge-after 1s -partial-results -json
 
 # Single source of truth for the staticcheck pin; CI installs the same
 # version via `make staticcheck-install`.
 STATICCHECK_VERSION := 2024.1.1
 
-.PHONY: check lint fmt vet llmsqlvet build test race staticcheck staticcheck-install bench baseline bench-check replay-check replay-fixture fuzz docs-check
+.PHONY: check lint fmt vet llmsqlvet build test race staticcheck staticcheck-install bench baseline bench-check replay-check replay-fixture chaos-check fuzz docs-check
 
 ## check: everything the CI lint+test jobs run
 check: fmt vet llmsqlvet build race docs-check
@@ -87,6 +95,26 @@ replay-check:
 		fi; \
 	fi; \
 	rm -f "$$a" "$$b"; exit $$status
+
+## chaos-check: run the full suite under seeded fault injection for each pinned seed, twice, and fail if any run errors or the two runs differ (fault-recovery determinism gate)
+chaos-check:
+	@status=0; \
+	for seed in $(CHAOS_SEEDS); do \
+		a="$$(mktemp -t llmsql_chaos_a.XXXXXX)"; b="$$(mktemp -t llmsql_chaos_b.XXXXXX)"; \
+		$(GO) run ./cmd/llmsql-bench $(CHAOS_FLAGS) -chaos-seed $$seed > "$$a" || status=$$?; \
+		if [ "$$status" -eq 0 ]; then \
+			$(GO) run ./cmd/llmsql-bench $(CHAOS_FLAGS) -chaos-seed $$seed > "$$b" || status=$$?; \
+		fi; \
+		if [ "$$status" -eq 0 ]; then \
+			if cmp -s "$$a" "$$b"; then \
+				echo "chaos-check: seed $$seed OK — two chaos runs are byte-identical"; \
+			else \
+				echo "chaos-check: seed $$seed FAIL — chaos runs differ:"; diff "$$a" "$$b" | head -40; status=1; \
+			fi; \
+		fi; \
+		rm -f "$$a" "$$b"; \
+		[ "$$status" -eq 0 ] || break; \
+	done; exit $$status
 
 ## replay-fixture: re-record the checked-in replay fixture (after changing prompts, the engine, or the covered experiments)
 replay-fixture:

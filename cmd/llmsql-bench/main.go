@@ -49,6 +49,8 @@ func main() {
 
 		printFlags = flag.Bool("print-flags", false, "print the flag reference as a markdown table and exit (consumed by make docs-check)")
 	)
+	var faults cliflags.FaultFlags
+	faults.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *printFlags {
@@ -68,7 +70,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	opts := bench.Options{Seed: *seed, Scale: *scale, CacheDir: *cacheDir}
+	opts := bench.Options{
+		Seed:           *seed,
+		Scale:          *scale,
+		CacheDir:       *cacheDir,
+		Chaos:          faults.Chaos(),
+		Retry:          faults.Retry(),
+		PartialResults: faults.PartialResults,
+	}
 	if *record != "" {
 		opts.Record = llm.NewTrace()
 	}

@@ -77,6 +77,8 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
 		printFlags = flag.Bool("print-flags", false, "print the flag reference as a markdown table and exit (consumed by make docs-check)")
 	)
+	var faults cliflags.FaultFlags
+	faults.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *printFlags {
@@ -108,6 +110,7 @@ func main() {
 	cfg.LimitPushdown = *limitPush
 	cfg.BindJoin = *bindJoin
 	cfg.Tolerant = *tolerant
+	faults.Apply(&cfg)
 	cfg.Strategy, err = strategyByName(*strategy)
 	if err != nil {
 		fatal(err)

@@ -70,6 +70,8 @@ func main() {
 	)
 	var params paramFlags
 	flag.Var(&params, "param", "bind a query parameter; repeatable. name=value binds :name, a bare value binds the next $n/? positionally. Values parse as int, float, bool or null, else text")
+	var faults cliflags.FaultFlags
+	faults.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *printFlags {
@@ -107,6 +109,7 @@ func main() {
 	cfg.LimitPushdown = *limitPush
 	cfg.BindJoin = *bindJoin
 	cfg.Tolerant = *tolerant
+	faults.Apply(&cfg)
 	cfg.Strategy, err = strategyByName(*strategy)
 	if err != nil {
 		fatal(err)
@@ -156,24 +159,24 @@ func main() {
 		}
 	}
 
-	runOne := func(query string) {
+	runOne := func(query string) bool {
 		if *explain {
 			out, err := eng.Explain(query)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
-				return
+				return false
 			}
 			fmt.Print(out)
-			return
+			return true
 		}
 		// DDL/DML goes to the local side (hybrid queries).
 		if isLocalWrite(query) {
 			if err := eng.Exec(query); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
-			} else {
-				fmt.Println("ok")
+				return false
 			}
-			return
+			fmt.Println("ok")
+			return true
 		}
 		var res *core.QueryResult
 		var err error
@@ -189,7 +192,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			return
+			return false
 		}
 		fmt.Print(core.FormatResult(res.Result))
 		printUsage(res.Usage)
@@ -199,16 +202,21 @@ func main() {
 		if truthDB != nil {
 			scoreQuery(truthDB, query, res)
 		}
+		return true
 	}
 
 	runLoop(runOne)
 }
 
 // runLoop drives runOne from the command line (one joined query) or the
-// interactive prompt, shared by the embedded and -connect modes.
-func runLoop(runOne func(string)) {
+// interactive prompt, shared by the embedded and -connect modes. A failed
+// one-shot query exits nonzero; the interactive loop reports and carries
+// on.
+func runLoop(runOne func(string) bool) {
 	if flag.NArg() > 0 {
-		runOne(strings.Join(flag.Args(), " "))
+		if !runOne(strings.Join(flag.Args(), " ")) {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -250,7 +258,7 @@ func runRemote(addr, tenant string, params *paramFlags, explain, analyze bool) {
 		fatal(fmt.Errorf("server rejected session: %s", hello.Error))
 	}
 
-	runOne := func(query string) {
+	runOne := func(query string) bool {
 		var resp *serve.Response
 		var err error
 		switch {
@@ -258,13 +266,13 @@ func runRemote(addr, tenant string, params *paramFlags, explain, analyze bool) {
 			resp, err = c.Explain(query)
 			if err == nil && resp.OK {
 				fmt.Print(resp.Plan)
-				return
+				return true
 			}
 		case isLocalWrite(query):
 			resp, err = c.Exec(query)
 			if err == nil && resp.OK {
 				fmt.Println("ok")
-				return
+				return true
 			}
 		default:
 			req := serve.Request{Op: "query", SQL: query, Analyze: analyze}
@@ -282,7 +290,7 @@ func runRemote(addr, tenant string, params *paramFlags, explain, analyze bool) {
 			} else {
 				fmt.Fprintln(os.Stderr, "error:", resp.Error)
 			}
-			return
+			return false
 		}
 		if analyze {
 			fmt.Print(resp.Plan)
@@ -290,7 +298,7 @@ func runRemote(addr, tenant string, params *paramFlags, explain, analyze bool) {
 		res, err := serve.DecodeRows(resp.Columns, resp.Types, resp.Rows)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			return
+			return false
 		}
 		fmt.Print(core.FormatResult(res))
 		if resp.Usage != nil {
@@ -299,6 +307,7 @@ func runRemote(addr, tenant string, params *paramFlags, explain, analyze bool) {
 		for _, s := range resp.Scans {
 			printScan(s)
 		}
+		return true
 	}
 
 	runLoop(runOne)
@@ -340,6 +349,12 @@ func printScan(s core.ScanStats) {
 	}
 	if s.CoalescedHits > 0 {
 		fmt.Printf(", %d coalesced", s.CoalescedHits)
+	}
+	if s.RetriesSpent > 0 || s.KeysFailed > 0 {
+		fmt.Printf(", %d retries, %d keys failed", s.RetriesSpent, s.KeysFailed)
+	}
+	if s.HedgesLaunched > 0 {
+		fmt.Printf(", hedges %d launched/%d won", s.HedgesLaunched, s.HedgesWon)
 	}
 	fmt.Println()
 }

@@ -1,0 +1,46 @@
+// Package fixture exercises the walltime analyzer on retry/backoff-shaped
+// code; the test type-checks it under the retry layer's import path
+// (llmsql/internal/llm/retry) to prove the deterministic set covers it by
+// prefix: a retry loop that waits on the real clock — the classic way a
+// backoff implementation smuggles wall time past llm.Sched — is flagged.
+package fixture
+
+import (
+	"time"
+)
+
+func retryWithRealSleep(attempt func() error) error {
+	backoff := 200 * time.Millisecond
+	for i := 0; i < 4; i++ {
+		if err := attempt(); err == nil {
+			return nil
+		}
+		time.Sleep(backoff) // want `time.Sleep in deterministic package`
+		backoff *= 2
+	}
+	return attempt()
+}
+
+func retryWithRealTimer(attempt func() error) {
+	start := time.Now() // want `time.Now in deterministic package`
+	for attempt() != nil {
+		<-time.After(time.Second)            // want `time.After in deterministic package`
+		if time.Since(start) > time.Minute { // want `time.Since in deterministic package`
+			return
+		}
+	}
+}
+
+// retryWithVirtualBackoff is the sanctioned shape: backoff is computed as
+// a duration and charged to the caller's virtual clock, never slept.
+func retryWithVirtualBackoff(attempt func() error, charge func(time.Duration)) error {
+	backoff := 200 * time.Millisecond
+	for i := 0; i < 4; i++ {
+		if err := attempt(); err == nil {
+			return nil
+		}
+		charge(backoff)
+		backoff *= 2
+	}
+	return attempt()
+}

@@ -7,12 +7,15 @@ import (
 	"llmsql/internal/analysis/walltime"
 )
 
-// TestWalltime checks the same rules twice: the fixture type-checked
-// under a deterministic import path must produce every wanted
-// diagnostic, and a wall-clock-using fixture under internal/serve's
+// TestWalltime checks the same rules three ways: the fixture
+// type-checked under a deterministic import path must produce every
+// wanted diagnostic, a retry/backoff-shaped fixture under the retry
+// layer's path must be caught too (real sleeps can never bypass
+// llm.Sched), and a wall-clock-using fixture under internal/serve's
 // path must produce none.
 func TestWalltime(t *testing.T) {
 	analysistest.Run(t, "../testdata", "walltime", "llmsql/internal/exec", walltime.Analyzer)
+	analysistest.Run(t, "../testdata", "walltime_retry", "llmsql/internal/llm/retry", walltime.Analyzer)
 	analysistest.Run(t, "../testdata", "walltime_serve", "llmsql/internal/serve", walltime.Analyzer)
 }
 

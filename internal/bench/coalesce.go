@@ -54,6 +54,7 @@ func Table14Coalesce(o Options) (Report, error) {
 		cfg.CoalesceCapacity = 1 << 16
 		cfg.RecordTrace = o.Record
 		cfg.ReplayTrace = o.Replay
+		o.applyFaults(&cfg)
 		group, err := core.NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, o.Seed+20), cfg)
 		if err != nil {
 			return Report{}, err

@@ -271,7 +271,9 @@ func Table7Ablations(o Options) (Report, error) {
 	// front of the model answers entirely from memoised completions.
 	w2 := o.buildWorld()
 	cache := llm.NewCache(llm.NewSynthLM(w2, llm.ProfileMedium, o.Seed+6))
-	e2 := core.New(cache, core.DefaultConfig())
+	cacheCfg := core.DefaultConfig()
+	o.applyFaults(&cacheCfg)
+	e2 := core.New(cache, cacheCfg)
 	for _, name := range w2.DomainNames() {
 		e2.RegisterWorldDomain(w2.Domain(name))
 	}

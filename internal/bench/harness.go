@@ -35,6 +35,15 @@ type Options struct {
 	// instead of a live SynthLM; a request outside the trace is an error.
 	// Deterministic playback for CI. Replay wins when both are set.
 	Replay *llm.Trace
+	// Chaos, when enabled, injects the deterministic fault stream into every
+	// experiment engine — the fault-sweep (Table 15) and chaos-check runs.
+	Chaos llm.ChaosProfile
+	// Retry overrides the engines' retry policy; the zero value keeps each
+	// experiment's own (the engine defaults).
+	Retry llm.RetryPolicy
+	// PartialResults lets experiment scans degrade around exhausted retries
+	// instead of failing — required for full-suite runs under chaos.
+	PartialResults bool
 }
 
 // DefaultOptions is the paper-style configuration.
@@ -83,12 +92,27 @@ func (o Options) newEngine(w *world.World, profile llm.NoiseProfile, cfg core.Co
 	if cfg.ReplayTrace == nil {
 		cfg.ReplayTrace = o.Replay
 	}
+	o.applyFaults(&cfg)
 	model := llm.NewSynthLM(w, profile, seed)
 	e := core.New(model, cfg)
 	for _, name := range w.DomainNames() {
 		e.RegisterWorldDomain(w.Domain(name))
 	}
 	return e
+}
+
+// applyFaults overlays the suite-wide fault options onto one engine config
+// (per-experiment settings win, mirroring the cache/trace overlay above).
+func (o Options) applyFaults(cfg *core.Config) {
+	if !cfg.Chaos.Enabled() {
+		cfg.Chaos = o.Chaos
+	}
+	if cfg.Retry == (llm.RetryPolicy{}) {
+		cfg.Retry = o.Retry
+	}
+	if o.PartialResults {
+		cfg.PartialResults = true
+	}
 }
 
 // baseline runs the query on the ground-truth row store, returning rows

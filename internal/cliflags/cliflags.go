@@ -2,6 +2,8 @@
 // README.md. Every binary exposes the rendering behind a -print-flags mode,
 // and `make docs-check` diffs that output against the README's committed
 // tables — so the documented flags can never drift from the real ones.
+// It also hosts flag groups every binary shares (FaultFlags), so a knob
+// spells and behaves the same on llmsql, llmsql-bench and llmsql-serve.
 package cliflags
 
 import (

@@ -173,6 +173,40 @@ type Config struct {
 	ReplayTrace *llm.Trace
 	// Seed offsets sampling seeds so experiments can decorrelate runs.
 	Seed int64
+	// Chaos, when any rate is positive, inserts a deterministic fault
+	// injector (llm.Chaos) directly above the base model: transient errors,
+	// rate-limit rejections, malformed completions and latency spikes are
+	// drawn from a stream keyed on (Chaos.Seed, request fingerprint,
+	// attempt number) — no wall clock, no global rand — so a chaos run is
+	// exactly replayable at any Parallelism. The zero value injects
+	// nothing. Chaos sits above RecordTrace/ReplayTrace, so recorded traces
+	// stay clean and replayed suites can be stressed with faults.
+	Chaos llm.ChaosProfile
+	// Retry tunes the fault-tolerance layer (llm.Retrier) that sits below
+	// the caches: typed error classification, capped exponential backoff
+	// with deterministic jitter, a per-backend circuit breaker and optional
+	// hedged requests (Retry.HedgeAfter). All waiting is virtual time —
+	// backoff and failed attempts are charged into SimLatency/SimWall and
+	// surfaced in ScanStats.RetriesSpent. Zero fields select
+	// llm.DefaultRetryPolicy, under which the layer is a transparent no-op
+	// until something actually fails.
+	Retry llm.RetryPolicy
+	// PartialResults lets scans survive exhausted retries instead of
+	// failing the query: a key whose attribute call still fails after the
+	// full retry budget is dropped from the result (counted in
+	// ScanStats.KeysFailed), a failed batched call drops its whole batch
+	// group, and a failed enumeration round stops enumeration at the keys
+	// already found. Row guarantee under any fault seed: emitted rows are
+	// byte-identical to the fault-free run whenever retries sufficed, and a
+	// strict subset (in the same order) otherwise. Only retryable failures
+	// degrade; fatal errors still abort the query.
+	PartialResults bool
+
+	// sharedFaultLayer marks a session config built by EngineGroup.Session:
+	// the Retrier (and Chaos) live in the shared stack below the coalescer,
+	// so Open must not add a second retry tier on top — stacked retriers
+	// would multiply attempt budgets.
+	sharedFaultLayer bool
 }
 
 // DefaultConfig returns the configuration used by the paper-style runs:

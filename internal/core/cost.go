@@ -158,6 +158,11 @@ func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int, filter sql.Expr, l
 		rounds = 1
 	}
 	estRows := s.cardinalityEstimate(t)
+	// Price expected fault recovery when a chaos profile is in force: the
+	// injector publishes its per-attempt failure probability, the retry
+	// policy the backoff the Retrier will charge. On a healthy backend both
+	// are zero-cost no-ops.
+	retry := cfg.Retry.Normalized()
 	return plan.ScanCostModel{
 		Cost:             s.costModel,
 		Rows:             estRows,
@@ -177,6 +182,9 @@ func (s *LLMStore) scanCostModel(t *VirtualTable, cols []int, filter sql.Expr, l
 		Limit:            limit,
 		Selectivity:      keySelectivity(filter, t.Schema.Col(keyPos).Name, estRows),
 		WarmHitRate:      s.warmHitRate(t, cols, filter),
+		FaultRate:        cfg.Chaos.FailureRate(),
+		RetryBackoff:     retry.BaseBackoff,
+		MaxAttempts:      retry.MaxAttempts,
 	}
 }
 

@@ -19,12 +19,14 @@ import (
 // out. Virtual (LLM-backed) tables and local row-store tables can be mixed
 // freely in one query (hybrid execution).
 type Engine struct {
-	store *LLMStore
-	model *llm.CountingModel
-	cache *llm.CacheModel // optional, per Config.CacheCapacity
-	disk  *llm.DiskCache  // optional, per Config.CacheDir
-	local *storage.DB     // optional
-	plans *planCache      // optional, per Config.PlanCacheCapacity
+	store   *LLMStore
+	model   *llm.CountingModel
+	cache   *llm.CacheModel // optional, per Config.CacheCapacity
+	disk    *llm.DiskCache  // optional, per Config.CacheDir
+	retrier *llm.Retrier    // fault tolerance, always present below the caches
+	chaos   *llm.Chaos      // optional, per Config.Chaos
+	local   *storage.DB     // optional
+	plans   *planCache      // optional, per Config.PlanCacheCapacity
 	// gen is the catalog generation: bumped whenever a change could make a
 	// cached plan wrong (table registered, local store attached or written,
 	// cost model replaced). Cached plans carry the generation they were
@@ -50,13 +52,20 @@ func New(model llm.Model, cfg Config) *Engine {
 //	CountingModel                       usage accounting (always)
 //	CacheModel                          Config.CacheCapacity != 0
 //	DiskCache                           Config.CacheDir != ""
+//	Retrier                             fault tolerance (always)
+//	Chaos                               Config.Chaos enabled
 //	trace recorder | trace replayer     Config.RecordTrace / ReplayTrace
 //	model                               the base backend
 //
 // The counting wrapper sits outside every cache, so hits are counted as
-// calls but charged zero latency and dollars. A replay trace substitutes
-// the base model entirely (only its name is used); a record trace captures
-// exactly the traffic the caches let through.
+// calls but charged zero latency and dollars. The Retrier sits below the
+// caches — a cache hit can never fault, and a retried answer is cached
+// once — and above the fault injector, so retries see fresh fault draws.
+// Chaos sits above the trace layer: recorded traces hold only clean
+// completions, and a replayed suite can still be stressed with injected
+// faults. A replay trace substitutes the base model entirely (only its
+// name is used); a record trace captures exactly the traffic the caches
+// let through.
 func Open(model llm.Model, cfg Config) (*Engine, error) {
 	base := model
 	switch {
@@ -64,6 +73,16 @@ func Open(model llm.Model, cfg Config) (*Engine, error) {
 		base = cfg.ReplayTrace.Replay(model.Name())
 	case cfg.RecordTrace != nil:
 		base = cfg.RecordTrace.Record(model)
+	}
+	var chaos *llm.Chaos
+	if cfg.Chaos.Enabled() {
+		chaos = llm.NewChaos(base, cfg.Chaos)
+		base = chaos
+	}
+	var retrier *llm.Retrier
+	if !cfg.sharedFaultLayer {
+		retrier = llm.NewRetrier(base, cfg.Retry)
+		base = retrier
 	}
 	var disk *llm.DiskCache
 	if cfg.CacheDir != "" {
@@ -88,11 +107,13 @@ func Open(model llm.Model, cfg Config) (*Engine, error) {
 		plans = newPlanCache(DefaultPlanCacheCapacity)
 	}
 	return &Engine{
-		store: NewLLMStore(counting, cfg),
-		model: counting,
-		cache: cache,
-		disk:  disk,
-		plans: plans,
+		store:   NewLLMStore(counting, cfg),
+		model:   counting,
+		cache:   cache,
+		disk:    disk,
+		retrier: retrier,
+		chaos:   chaos,
+		plans:   plans,
 	}, nil
 }
 
@@ -113,6 +134,11 @@ func (e *Engine) Close() error {
 func (e *Engine) CostModel(c llm.CostModel) {
 	e.model.Cost = c
 	e.store.SetCostModel(c)
+	if e.retrier != nil {
+		// The Retrier prices failed attempts, backoff and hedge races in
+		// virtual time under the same constants.
+		e.retrier.SetCost(c)
+	}
 	e.invalidatePlans()
 }
 
@@ -153,6 +179,24 @@ func (e *Engine) DiskCacheStats() llm.DiskCacheStats {
 		return llm.DiskCacheStats{}
 	}
 	return e.disk.Stats()
+}
+
+// RetrierStats reports the fault-tolerance layer's recovery counters
+// (all zero on a healthy stack).
+func (e *Engine) RetrierStats() llm.RetrierStats {
+	if e.retrier == nil {
+		return llm.RetrierStats{}
+	}
+	return e.retrier.Stats()
+}
+
+// ChaosStats reports the fault injector's counters (the zero value when
+// Config.Chaos is disabled).
+func (e *Engine) ChaosStats() llm.ChaosStats {
+	if e.chaos == nil {
+		return llm.ChaosStats{}
+	}
+	return e.chaos.Stats()
 }
 
 // Config returns the engine's configuration.

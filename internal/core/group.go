@@ -15,7 +15,9 @@ import (
 //
 //	Coalescer                           cross-session request coalescing
 //	DiskCache                           Config.CacheDir != ""
+//	Retrier                             fault tolerance (always)
 //	CountingModel                       live (operator-side) usage
+//	Chaos                               Config.Chaos enabled
 //	trace recorder | trace replayer     Config.RecordTrace / ReplayTrace
 //	model                               the base backend
 //
@@ -34,11 +36,13 @@ import (
 // can be broadcast to the others' plan caches via InvalidatePlans. All
 // methods are safe for concurrent use.
 type EngineGroup struct {
-	shared llm.Model // the stack below the sessions, coalescer outermost
-	coal   *llm.Coalescer
-	live   *llm.CountingModel
-	disk   *llm.DiskCache
-	cfg    Config
+	shared  llm.Model // the stack below the sessions, coalescer outermost
+	coal    *llm.Coalescer
+	live    *llm.CountingModel
+	disk    *llm.DiskCache
+	retrier *llm.Retrier
+	chaos   *llm.Chaos // optional, per Config.Chaos
+	cfg     Config
 
 	mu       sync.Mutex
 	tables   []VirtualTable
@@ -61,10 +65,22 @@ func NewEngineGroup(model llm.Model, cfg Config) (*EngineGroup, error) {
 	case cfg.RecordTrace != nil:
 		base = cfg.RecordTrace.Record(model)
 	}
-	// Live counting sits below the disk cache: it sees exactly the traffic
-	// the operator pays the provider for (disk hits never reach it).
+	var chaos *llm.Chaos
+	if cfg.Chaos.Enabled() {
+		chaos = llm.NewChaos(base, cfg.Chaos)
+		base = chaos
+	}
+	// Live counting sits below the disk cache and the retrier: it sees
+	// exactly the successful traffic the operator pays the provider for
+	// (disk hits never reach it; hedge duplicates do, since both halves of
+	// a race are real calls).
 	live := llm.NewCounting(base)
-	shared := llm.Model(live)
+	// One shared retrier below the coalescer: retries and hedges of a
+	// coalesced leader are run once and every follower receives the same
+	// recovered (and identically billed) response — hedging never
+	// double-bills a cohort.
+	retrier := llm.NewRetrier(live, cfg.Retry)
+	shared := llm.Model(retrier)
 	var disk *llm.DiskCache
 	if cfg.CacheDir != "" {
 		var err error
@@ -80,6 +96,8 @@ func NewEngineGroup(model llm.Model, cfg Config) (*EngineGroup, error) {
 		coal:     coal,
 		live:     live,
 		disk:     disk,
+		retrier:  retrier,
+		chaos:    chaos,
 		cfg:      cfg,
 		local:    storage.NewDB(),
 		sessions: make(map[*Engine]struct{}),
@@ -92,11 +110,15 @@ func NewEngineGroup(model llm.Model, cfg Config) (*EngineGroup, error) {
 // it with CloseSession when the session ends.
 func (g *EngineGroup) Session() *Engine {
 	cfg := g.cfg
-	// The shared layers must not be duplicated per session.
+	// The shared layers must not be duplicated per session: in particular a
+	// per-session Retrier above the shared one would multiply attempt
+	// budgets, and a per-session Chaos would fault the same request twice.
 	cfg.CacheDir = ""
 	cfg.CacheMaxBytes = 0
 	cfg.RecordTrace = nil
 	cfg.ReplayTrace = nil
+	cfg.Chaos = llm.ChaosProfile{}
+	cfg.sharedFaultLayer = true
 	e := New(g.shared, cfg)
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -200,6 +222,12 @@ type GroupStats struct {
 	Coalescer llm.CoalescerStats
 	// DiskCache reports the shared persistent cache (zero without one).
 	DiskCache llm.DiskCacheStats
+	// Retrier reports the shared fault-tolerance layer's recovery work
+	// (all zero on a healthy backend).
+	Retrier llm.RetrierStats
+	// Chaos reports the fault injector's counters (zero when Config.Chaos
+	// is disabled).
+	Chaos llm.ChaosStats
 }
 
 // Stats returns a snapshot of the group's operator-side counters.
@@ -218,6 +246,10 @@ func (g *EngineGroup) Stats() GroupStats {
 	s.Coalescer = g.coal.Stats()
 	if g.disk != nil {
 		s.DiskCache = g.disk.Stats()
+	}
+	s.Retrier = g.retrier.Stats()
+	if g.chaos != nil {
+		s.Chaos = g.chaos.Stats()
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -76,6 +77,21 @@ type ScanStats struct {
 	// it would in a solo run; this field is the only place the sharing
 	// shows. See llm.Coalescer.
 	CoalescedHits int
+	// KeysFailed counts keys dropped under Config.PartialResults: an
+	// attribute call of theirs still failed after the full retry budget (a
+	// failed batched call drops its whole batch group). Zero on a healthy
+	// backend, and zero whenever retries sufficed — nonzero KeysFailed is
+	// exactly the strict-subset case of the row guarantee. Only keys that
+	// would have been emitted count; bind-gate rider keys do not.
+	KeysFailed int
+	// RetriesSpent counts extra attempts beyond the first across the calls
+	// this scan consumed — the llm.Retrier's recovery work, including the
+	// attempts burned by calls that still failed and degraded.
+	RetriesSpent int
+	// HedgesLaunched and HedgesWon count hedge races among this scan's
+	// calls and how many the duplicate request won (Retry.HedgeAfter).
+	HedgesLaunched int
+	HedgesWon      int
 	// Parse aggregates the parser counters.
 	Parse ParseStats
 }
@@ -335,40 +351,83 @@ func (sc *llmScan) modelCall(prompt string, seed int64) (llm.CompletionResponse,
 // addWall extends the scan's simulated critical path by d.
 func (sc *llmScan) addWall(d time.Duration) { sc.wall += d }
 
-// countCache attributes one consumed completion to the scan's cache
-// counters. Counting from the response's own flags is exact even when
-// queries run concurrently (a global before/after counter diff is not), and
-// discarded speculative calls are never attributed, mirroring Prompts.
+// countCache attributes one consumed completion to the scan's cache and
+// fault-recovery counters. Counting from the response's own flags is exact
+// even when queries run concurrently (a global before/after counter diff is
+// not), and discarded speculative calls are never attributed, mirroring
+// Prompts. Fan-out phases keep responses in index-disjoint slots and
+// attribute on the scan goroutine afterwards.
+//
+// Cache flags: the disk layer is consulted only when the in-memory layer
+// missed, so an uncached response is a disk miss but a memory hit is neither
+// — and a disk-cached response, which kept Cached set on its way out through
+// the memory layer's miss path, is a memory miss, not a memory hit.
+// Coalesced responses carry the flags of the original call, so the cache
+// counters read as they would solo; CoalescedHits is counted on top, not
+// instead. Retry/hedge markings survive only on live responses (cache hits
+// strip them), so on a healthy backend the fault counters stay zero.
 func (sc *llmScan) countCache(resp llm.CompletionResponse) {
-	sc.countCall(resp.Cached, resp.DiskCached, resp.Coalesced, resp.DiskBytes)
-}
-
-// countCall is countCache over the flags alone (fan-out phases keep them in
-// index-disjoint slots and attribute on the scan goroutine afterwards).
-// The disk layer is consulted only when the in-memory layer missed, so an
-// uncached response is a disk miss but a memory hit is neither — and a
-// disk-cached response, which kept Cached set on its way out through the
-// memory layer's miss path, is a memory miss, not a memory hit. Coalesced
-// responses carry the flags of the original call, so the cache counters read
-// as they would solo; CoalescedHits is counted on top, not instead.
-func (sc *llmScan) countCall(cached, diskCached, coalesced bool, diskBytes int64) {
 	if sc.store.cache != nil {
-		if cached && !diskCached {
+		if resp.Cached && !resp.DiskCached {
 			sc.stats.CacheHits++
 		} else {
 			sc.stats.CacheMisses++
 		}
 	}
 	if sc.store.disk != nil {
-		if diskCached {
+		if resp.DiskCached {
 			sc.stats.DiskHits++
-			sc.stats.DiskBytes += diskBytes
-		} else if !cached {
+			sc.stats.DiskBytes += resp.DiskBytes
+		} else if !resp.Cached {
 			sc.stats.DiskMisses++
 		}
 	}
-	if sc.store.coal != nil && coalesced {
+	if sc.store.coal != nil && resp.Coalesced {
 		sc.stats.CoalescedHits++
+	}
+	if resp.Attempts > 1 {
+		sc.stats.RetriesSpent += resp.Attempts - 1
+	}
+	if resp.HedgeLaunched {
+		sc.stats.HedgesLaunched++
+	}
+	if resp.HedgeWon {
+		sc.stats.HedgesWon++
+	}
+}
+
+// degrade decides whether a failed model call degrades the scan instead of
+// aborting the query — Config.PartialResults must be on and the error must
+// be retryable-class (fatal errors always abort) — and extracts the
+// accounting the failure carries: the attempts it burned and the virtual
+// time it spent. A failed call has no response, so llm.RetryError is the
+// only carrier; a degradable error that is not a RetryError (retries
+// disabled outright) charges one attempt and no latency. Safe to call from
+// pool workers; callers record the outcome in their index-disjoint slots.
+func (sc *llmScan) degrade(err error) (attempts int, fault time.Duration, ok bool) {
+	if !sc.cfg().PartialResults || !llm.Degradable(err) {
+		return 0, 0, false
+	}
+	var re *llm.RetryError
+	if errors.As(err, &re) {
+		return re.Attempts, re.FaultLatency, true
+	}
+	return 1, 0, true
+}
+
+// countFailed attributes a degraded call on the scan goroutine: the burned
+// attempts extend RetriesSpent and the failure's virtual time occupies a
+// lane of the fan-out's scheduler just as a successful call's latency would
+// (nil sched charges the serial critical path directly). Cache counters are
+// left alone — a call that never completed hit nothing.
+func (sc *llmScan) countFailed(attempts int, fault time.Duration, sched *llm.Sched) {
+	if attempts > 1 {
+		sc.stats.RetriesSpent += attempts - 1
+	}
+	if sched != nil {
+		sched.Add(fault)
+	} else {
+		sc.addWall(fault)
 	}
 }
 
@@ -452,6 +511,15 @@ func (sc *llmScan) runRounds(promptVaries bool, issue func(seed int64) (llm.Comp
 		sc.stats.Rounds++
 		resp, err := next(round)
 		if err != nil {
+			if tries, fault, ok := sc.degrade(err); ok {
+				// A failed enumeration round stops enumeration at the rows
+				// already found. Earlier rounds consumed identical
+				// completions to the fault-free run (faults are keyed per
+				// request, not per call order), so the surviving rows are a
+				// subset of what full enumeration would have produced.
+				sc.countFailed(tries, fault, nil)
+				break
+			}
 			return nil, err
 		}
 		sc.stats.Prompts++
@@ -572,13 +640,20 @@ func (sc *llmScan) runPaged() ([]rel.Row, error) {
 
 // attrVote is one self-consistency vote for one attribute cell.
 type attrVote struct {
-	val       rel.Value
-	ok        bool
-	cached    bool
-	disk      bool
-	coal      bool
-	diskBytes int64
-	lat       time.Duration
+	val rel.Value
+	ok  bool
+	// failed marks a cell whose model call still failed after the full
+	// retry budget (Config.PartialResults only): any failed cell drops its
+	// key from the window's output.
+	failed bool
+	// failTries and fault carry a failed call's accounting — the attempts
+	// it burned and the virtual time it spent — since no response exists to
+	// count from.
+	failTries int
+	fault     time.Duration
+	// resp is the completion the vote was parsed from; zero for scatter
+	// copies of a batched answer (the call is counted once, on its task).
+	resp llm.CompletionResponse
 }
 
 // startKeyThenAttr runs the enumeration phase of the key-then-attr
@@ -855,6 +930,23 @@ func (st *attrStream) fetchWindow() error {
 		if st.emit != nil && !st.emit[ki] {
 			continue
 		}
+		// Graceful degradation: a key with any failed cell is dropped whole
+		// rather than emitted with a fabricated NULL — a partial result must
+		// be a subset of the fault-free rows, never a variation of them.
+		// Only cells of failed calls are marked; merely unparsable answers
+		// keep flowing through mergeVotes as ever.
+		cellLo := (ki - lo) * len(st.attrCols) * st.votes
+		dropped := false
+		for j := cellLo; j < cellLo+len(st.attrCols)*st.votes; j++ {
+			if results[j].failed {
+				sc.stats.KeysFailed++
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
 		row := make(rel.Row, sc.table.Schema.Len())
 		for i := range row {
 			row[i] = rel.NullOf(sc.table.Schema.Col(i).Type)
@@ -883,10 +975,14 @@ func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int, sched *l
 		v := i % votes
 		resp, err := sc.modelCall(buildAttrPrompt(sc.table, keys[ki], c), int64(1000+v))
 		if err != nil {
+			if tries, fault, ok := sc.degrade(err); ok {
+				results[i] = attrVote{failed: true, failTries: tries, fault: fault}
+				return nil
+			}
 			return err
 		}
 		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		results[i] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, coal: resp.Coalesced, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
+		results[i] = attrVote{val: val, ok: ok, resp: resp}
 		return nil
 	})
 	if err != nil {
@@ -894,11 +990,16 @@ func (sc *llmScan) attrSingle(keys []string, attrCols []int, votes int, sched *l
 	}
 	sc.stats.Prompts += n
 	// Replay the fan-out's latencies through the lane scheduler (in task
-	// order) to account the phase's simulated critical path.
+	// order) to account the phase's simulated critical path; failed calls
+	// occupied their lane for the fault's duration.
 	before := sched.Makespan()
 	for i := range results {
-		sched.Add(results[i].lat)
-		sc.countCall(results[i].cached, results[i].disk, results[i].coal, results[i].diskBytes)
+		if results[i].failed {
+			sc.countFailed(results[i].failTries, results[i].fault, sched)
+			continue
+		}
+		sched.Add(results[i].resp.SimLatency)
+		sc.countCache(results[i].resp)
 	}
 	sc.addWall(sched.Makespan() - before)
 	return results, nil
@@ -923,11 +1024,10 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 		vals      []rel.Value
 		ok        []bool
 		found     []bool
-		cached    bool
-		disk      bool
-		coal      bool
-		diskBytes int64
-		lat       time.Duration
+		failed    bool // degraded call: the whole group's cells fail
+		failTries int
+		fault     time.Duration
+		resp      llm.CompletionResponse
 	}
 	n := numBatches * len(attrCols) * votes
 	tasks := make([]batchAnswer, n)
@@ -942,10 +1042,14 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 		group := keys[lo:hi]
 		resp, err := sc.modelCall(buildAttrBatchPrompt(sc.table, group, c), int64(1000+v))
 		if err != nil {
+			if tries, fault, ok := sc.degrade(err); ok {
+				tasks[i] = batchAnswer{failed: true, failTries: tries, fault: fault}
+				return nil
+			}
 			return err
 		}
 		vals, ok, found := parseAttrBatchCompletion(resp.Text, group, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		tasks[i] = batchAnswer{vals: vals, ok: ok, found: found, cached: resp.Cached, disk: resp.DiskCached, coal: resp.Coalesced, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
+		tasks[i] = batchAnswer{vals: vals, ok: ok, found: found, resp: resp}
 		return nil
 	})
 	if err != nil {
@@ -955,13 +1059,21 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 	sc.stats.BatchedPrompts += n
 	before := primary.Makespan()
 	for i := range tasks {
-		primary.Add(tasks[i].lat)
-		sc.countCall(tasks[i].cached, tasks[i].disk, tasks[i].coal, tasks[i].diskBytes)
+		if tasks[i].failed {
+			sc.countFailed(tasks[i].failTries, tasks[i].fault, primary)
+			continue
+		}
+		primary.Add(tasks[i].resp.SimLatency)
+		sc.countCache(tasks[i].resp)
 	}
 	sc.addWall(primary.Makespan() - before)
 
 	// Scatter batched answers into the (key, column, vote) layout and
-	// collect the cells that need a single-key fallback.
+	// collect the cells that need a single-key fallback. A degraded batched
+	// call fails its whole group's cells outright — no single-key repair:
+	// its retry budget is already spent, and turning one failed prompt into
+	// BatchSize fresh ones would amplify load exactly when the backend is
+	// unhealthy. Dropping the group keeps the degraded run a strict subset.
 	results := make([]attrVote, len(keys)*len(attrCols)*votes)
 	var repair []int
 	for i := range results {
@@ -969,6 +1081,10 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 		ci := i / votes % len(attrCols)
 		v := i % votes
 		t := &tasks[(ki/batch*len(attrCols)+ci)*votes+v]
+		if t.failed {
+			results[i] = attrVote{failed: true}
+			continue
+		}
 		off := ki % batch
 		if off < len(t.found) && t.found[off] {
 			results[i] = attrVote{val: t.vals[off], ok: t.ok[off]}
@@ -992,10 +1108,14 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 		v := i % votes
 		resp, err := sc.modelCall(buildAttrPrompt(sc.table, keys[ki], c), int64(1000+v))
 		if err != nil {
+			if tries, fault, ok := sc.degrade(err); ok {
+				fb[j] = attrVote{failed: true, failTries: tries, fault: fault}
+				return nil
+			}
 			return err
 		}
 		val, ok := parseAttrCompletion(resp.Text, sc.table.Schema.Col(c).Type, sc.cfg().Tolerant)
-		fb[j] = attrVote{val: val, ok: ok, cached: resp.Cached, disk: resp.DiskCached, coal: resp.Coalesced, diskBytes: resp.DiskBytes, lat: resp.SimLatency}
+		fb[j] = attrVote{val: val, ok: ok, resp: resp}
 		return nil
 	})
 	if err != nil {
@@ -1004,8 +1124,13 @@ func (sc *llmScan) attrBatched(keys []string, attrCols []int, votes int, primary
 	sc.stats.Prompts += len(repair)
 	before = fallback.Makespan()
 	for j := range fb {
-		fallback.Add(fb[j].lat)
-		sc.countCall(fb[j].cached, fb[j].disk, fb[j].coal, fb[j].diskBytes)
+		if fb[j].failed {
+			sc.countFailed(fb[j].failTries, fb[j].fault, fallback)
+			results[repair[j]] = attrVote{failed: true}
+			continue
+		}
+		fallback.Add(fb[j].resp.SimLatency)
+		sc.countCache(fb[j].resp)
 		results[repair[j]] = attrVote{val: fb[j].val, ok: fb[j].ok}
 	}
 	sc.addWall(fallback.Makespan() - before)

@@ -85,8 +85,11 @@ func (c *CacheModel) Complete(req CompletionRequest) (CompletionResponse, error)
 		c.mu.Unlock()
 		resp.Cached = true
 		// Served from memory, wherever the stored copy originally came from.
+		// The stored attempt's retries and hedges were billed when it was
+		// produced; this copy cost nothing.
 		resp.DiskCached = false
 		resp.DiskBytes = 0
+		resp.stripFaultMarkings()
 		return resp, nil
 	}
 	c.stats.Misses++

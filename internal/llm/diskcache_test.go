@@ -1,7 +1,9 @@
 package llm
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -237,5 +239,101 @@ func TestFindDiskCache(t *testing.T) {
 	}
 	if FindDiskCache(NewCounting(inner)) != nil {
 		t.Fatal("found a disk cache where there is none")
+	}
+}
+
+// TestDiskCacheCrashRecovery simulates a crash mid-append: the active
+// segment ends in a torn half-record, with stray garbage bytes behind it.
+// A reopen must not error or panic, must keep every intact record with
+// the last record per fingerprint winning, and must lose exactly the torn
+// tail — the "at most one record" crash contract the type documents.
+func TestDiskCacheCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reqA := CompletionRequest{Prompt: "alpha"}
+	reqB := CompletionRequest{Prompt: "beta"}
+	reqC := CompletionRequest{Prompt: "gamma"}
+	reqD := CompletionRequest{Prompt: "delta"}
+
+	c := mustDiskCache(t, &echoModel{}, dir, 0)
+	for _, req := range []CompletionRequest{reqA, reqB, reqC} {
+		if _, err := c.Complete(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite A's record (a later, different completion for the same
+	// fingerprint) and persist D — the record the crash will tear.
+	fpA := Fingerprint(c.Name(), reqA)
+	c.put(fpA, CompletionResponse{Text: "alpha-overridden", PromptTokens: 9, CompletionTokens: 9})
+	if _, err := c.Complete(reqD); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := c.segments()
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	seg := segs[len(segs)-1]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear D's record (the final line) in half, then scribble garbage
+	// after it — a crash racing a concurrent write.
+	body := data[:len(data)-1] // drop the final newline
+	cut := bytes.LastIndexByte(body, '\n') + 1 + 12
+	if cut >= len(body) {
+		t.Fatalf("segment too small to tear: %d bytes", len(body))
+	}
+	torn := append([]byte{}, data[:cut]...)
+	torn = append(torn, []byte("\x00\xfe{]garbage not json\n{\"fp\": tr")...)
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inner := &echoModel{}
+	c2 := mustDiskCache(t, inner, dir, 0)
+	// Intact records survive; the override is what A answers with.
+	rA, err := c2.Complete(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rA.DiskCached || rA.Text != "alpha-overridden" {
+		t.Fatalf("last record must win after recovery: %+v", rA)
+	}
+	for _, req := range []CompletionRequest{reqB, reqC} {
+		r, err := c2.Complete(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.DiskCached {
+			t.Fatalf("intact record lost in recovery: %+v", r)
+		}
+	}
+	if inner.calls != 0 {
+		t.Fatalf("recovery reached the backend for intact records: %d calls", inner.calls)
+	}
+	// The torn record is gone — D misses and is re-completed live.
+	rD, err := c2.Complete(reqD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rD.DiskCached {
+		t.Fatal("torn record must be dropped, not resurrected")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls after the torn-record miss: %d", inner.calls)
+	}
+	if s := c2.Stats(); s.DeadBytes == 0 {
+		t.Fatalf("torn tail and garbage must be accounted dead: %+v", s)
+	}
+	// The reopened cache keeps appending normally after recovery.
+	if _, err := c2.Complete(CompletionRequest{Prompt: "epsilon"}); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := c2.Complete(CompletionRequest{Prompt: "epsilon"}); err != nil || !r.DiskCached {
+		t.Fatalf("post-recovery write path broken: %+v %v", r, err)
 	}
 }

@@ -50,7 +50,39 @@ type CompletionResponse struct {
 	// SimLatency is the simulated wall-clock time of this one call under the
 	// accounting CostModel (zero for cached responses; set by CountingModel).
 	// Schedulers use it to compute critical-path latency of concurrent scans.
+	// It includes FaultLatency.
 	SimLatency time.Duration
+	// FaultLatency is extra virtual time the fault-tolerance layer charged
+	// this call: failed attempts, backoff waits and the losing half of a
+	// hedge race (Retrier), plus injected latency spikes (Chaos).
+	// CountingModel folds it into SimLatency; cached responses carry none.
+	FaultLatency time.Duration
+	// Attempts is how many completions the Retrier issued to produce this
+	// response (0 or 1 = first try; hedges count too). Attempts-1 retries
+	// are billed to Usage.Retries.
+	Attempts int
+	// HedgeLaunched / HedgeWon report that the Retrier raced a duplicate
+	// request against a slow primary, and whether the duplicate won.
+	HedgeLaunched bool
+	HedgeWon      bool
+	// WastedPromptTokens / WastedCompletionTokens are tokens consumed by
+	// attempts whose answer was discarded (the losing half of a hedge
+	// race). They cost dollars but carry no information; CountingModel
+	// bills them into Usage separately from the useful tokens.
+	WastedPromptTokens     int
+	WastedCompletionTokens int
+}
+
+// stripFaultMarkings zeroes the fault-accounting fields on a response
+// copy served from a cache: the stored attempt's retries were billed when
+// it was produced, and the cached copy costs nothing.
+func (r *CompletionResponse) stripFaultMarkings() {
+	r.FaultLatency = 0
+	r.Attempts = 0
+	r.HedgeLaunched = false
+	r.HedgeWon = false
+	r.WastedPromptTokens = 0
+	r.WastedCompletionTokens = 0
 }
 
 // Model is anything that completes prompts. Implementations must be safe
@@ -116,8 +148,20 @@ type Usage struct {
 	// worker pool. Serial pipelines have SimWall == SimLatency; concurrent
 	// ones have SimWall < SimLatency. Scans report it via WallAdder.
 	SimWall time.Duration
-	// SimDollars is the total simulated spend.
+	// SimDollars is the total simulated spend (wasted tokens included).
 	SimDollars float64
+	// Retries counts attempts beyond the first across all calls (failed
+	// attempts the Retrier re-issued, plus hedge duplicates).
+	Retries int
+	// HedgesLaunched / HedgesWon count hedge races and how many the
+	// duplicate request won.
+	HedgesLaunched int
+	HedgesWon      int
+	// WastedPromptTokens / WastedCompletionTokens are tokens bought but
+	// discarded (losing hedge attempts). Billed into SimDollars; kept out
+	// of PromptTokens/CompletionTokens so those still mean useful spend.
+	WastedPromptTokens     int
+	WastedCompletionTokens int
 }
 
 // TotalTokens returns prompt+completion tokens.
@@ -135,6 +179,11 @@ func (u *Usage) Add(o Usage) {
 	u.SimLatency += o.SimLatency
 	u.SimWall += o.SimWall
 	u.SimDollars += o.SimDollars
+	u.Retries += o.Retries
+	u.HedgesLaunched += o.HedgesLaunched
+	u.HedgesWon += o.HedgesWon
+	u.WastedPromptTokens += o.WastedPromptTokens
+	u.WastedCompletionTokens += o.WastedCompletionTokens
 }
 
 // Sub returns u minus o field-wise (for before/after snapshots around one
@@ -148,6 +197,12 @@ func (u Usage) Sub(o Usage) Usage {
 		SimLatency:       u.SimLatency - o.SimLatency,
 		SimWall:          u.SimWall - o.SimWall,
 		SimDollars:       u.SimDollars - o.SimDollars,
+		Retries:          u.Retries - o.Retries,
+		HedgesLaunched:   u.HedgesLaunched - o.HedgesLaunched,
+		HedgesWon:        u.HedgesWon - o.HedgesWon,
+
+		WastedPromptTokens:     u.WastedPromptTokens - o.WastedPromptTokens,
+		WastedCompletionTokens: u.WastedCompletionTokens - o.WastedCompletionTokens,
 	}
 }
 
@@ -201,7 +256,10 @@ func (c *CountingModel) Unwrap() Model { return c.Inner }
 
 // Complete implements Model. Cached responses (see CacheModel) are counted
 // as calls but cost no tokens, latency or dollars; every response leaves
-// with SimLatency stamped so schedulers can reason about it.
+// with SimLatency stamped so schedulers can reason about it. FaultLatency
+// charged by the Retrier/Chaos layers below is folded into SimLatency, and
+// wasted tokens (losing hedge attempts) are billed into SimDollars — so a
+// faulty run prices its recovery honestly.
 func (c *CountingModel) Complete(req CompletionRequest) (CompletionResponse, error) {
 	resp, err := c.Inner.Complete(req)
 	if err != nil {
@@ -210,8 +268,9 @@ func (c *CountingModel) Complete(req CompletionRequest) (CompletionResponse, err
 	var lat time.Duration
 	var usd float64
 	if !resp.Cached {
-		lat = c.Cost.Latency(resp.PromptTokens, resp.CompletionTokens)
-		usd = c.Cost.Dollars(resp.PromptTokens, resp.CompletionTokens)
+		lat = c.Cost.Latency(resp.PromptTokens, resp.CompletionTokens) + resp.FaultLatency
+		usd = c.Cost.Dollars(resp.PromptTokens, resp.CompletionTokens) +
+			c.Cost.Dollars(resp.WastedPromptTokens, resp.WastedCompletionTokens)
 	}
 	resp.SimLatency = lat
 	c.mu.Lock()
@@ -221,6 +280,17 @@ func (c *CountingModel) Complete(req CompletionRequest) (CompletionResponse, err
 	} else {
 		c.usage.PromptTokens += resp.PromptTokens
 		c.usage.CompletionTokens += resp.CompletionTokens
+		if resp.Attempts > 1 {
+			c.usage.Retries += resp.Attempts - 1
+		}
+		if resp.HedgeLaunched {
+			c.usage.HedgesLaunched++
+		}
+		if resp.HedgeWon {
+			c.usage.HedgesWon++
+		}
+		c.usage.WastedPromptTokens += resp.WastedPromptTokens
+		c.usage.WastedCompletionTokens += resp.WastedCompletionTokens
 	}
 	c.usage.SimLatency += lat
 	c.usage.SimDollars += usd

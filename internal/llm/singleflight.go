@@ -31,9 +31,12 @@ const DefaultCoalescerMemo = 4096
 // request timing. The memo makes "one live call per distinct fingerprint"
 // hold regardless of interleaving, up to memo capacity.
 //
-// Errors are not memoized: a leader's error propagates to the followers that
-// joined it in flight, and the next caller for that key starts a fresh
-// leader.
+// Errors are not memoized, and they do not fan out either: when a leader
+// fails, the followers that joined it in flight do not inherit the error —
+// each re-enters the coalescer, the first to arrive becomes a fresh leader
+// and the rest join it. One backend failure therefore costs one caller one
+// retry tier, never a whole coalesced cohort; a caller only sees an error
+// from a call it led itself.
 type Coalescer struct {
 	Inner Model
 
@@ -69,6 +72,9 @@ type CoalescerStats struct {
 	MemoHits int
 	// Errors counts leader calls that failed (propagated, never memoized).
 	Errors int
+	// Promotions counts followers that re-dispatched as a fresh leader
+	// after the leader they had joined failed.
+	Promotions int
 	// Size and Capacity describe the memo occupancy; Evictions counts
 	// entries dropped by the LRU bound.
 	Size      int
@@ -109,29 +115,45 @@ func (c *Coalescer) Name() string { return c.Inner.Name() }
 func (c *Coalescer) Unwrap() Model { return c.Inner }
 
 // Complete implements Model. The first caller for a fingerprint runs the
-// inner call; everyone else gets a Coalesced copy of its response.
+// inner call; everyone else gets a Coalesced copy of its response. A
+// follower whose leader failed loops: it re-enters the critical section
+// and either becomes the fresh leader itself (a promotion) or joins the
+// promoted one — so the cohort behind a failed call drains one leader at a
+// time until a call succeeds or every waiter has led (and failed) a call
+// of its own. Termination: each iteration a caller either leads (and then
+// returns, whatever the outcome) or waits on another caller's flight, so
+// with finitely many callers the loop cannot run forever.
 func (c *Coalescer) Complete(req CompletionRequest) (CompletionResponse, error) {
 	fp := Fingerprint(c.Inner.Name(), req)
 
 	c.mu.Lock()
-	if el, ok := c.entries[fp]; ok {
-		c.stats.MemoHits++
-		c.order.MoveToFront(el)
-		resp := el.Value.(*memoEntry).resp
-		c.mu.Unlock()
-		resp.Coalesced = true
-		return resp, nil
-	}
-	if fl, ok := c.inflight[fp]; ok {
+	joined := false
+	for {
+		if el, ok := c.entries[fp]; ok {
+			c.stats.MemoHits++
+			c.order.MoveToFront(el)
+			resp := el.Value.(*memoEntry).resp
+			c.mu.Unlock()
+			resp.Coalesced = true
+			return resp, nil
+		}
+		fl, ok := c.inflight[fp]
+		if !ok {
+			break
+		}
 		c.stats.FlightHits++
+		joined = true
 		c.mu.Unlock()
 		<-fl.done
-		if fl.err != nil {
-			return CompletionResponse{}, fl.err
+		if fl.err == nil {
+			resp := fl.resp
+			resp.Coalesced = true
+			return resp, nil
 		}
-		resp := fl.resp
-		resp.Coalesced = true
-		return resp, nil
+		c.mu.Lock()
+	}
+	if joined {
+		c.stats.Promotions++
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[fp] = fl

@@ -3,6 +3,7 @@ package llm
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -236,5 +237,113 @@ func TestFindCoalescer(t *testing.T) {
 	}
 	if FindCoalescer(NewCounting(inner)) != nil {
 		t.Fatal("FindCoalescer on a chain without one must return nil")
+	}
+}
+
+// gateModel blocks every Complete until released, so a test can hold a
+// coalescer leader's call open while followers pile onto its flight.
+type gateModel struct {
+	inner   Model
+	release chan struct{}
+}
+
+func (g *gateModel) Name() string { return g.inner.Name() }
+
+func (g *gateModel) Complete(req CompletionRequest) (CompletionResponse, error) {
+	<-g.release
+	return g.inner.Complete(req)
+}
+
+// TestCoalescerPromotionUnderChaos drives the follower-promotion path
+// with the real fault injector: a chaos profile chosen so the shared
+// request faults on its first attempt and succeeds on the second. The
+// leader absorbs the injected error alone, exactly one follower is
+// promoted to a fresh leader, and every caller that did not lead a failed
+// call gets the answer — one backend failure never fans out to a cohort.
+func TestCoalescerPromotionUnderChaos(t *testing.T) {
+	profile := ChaosProfile{Seed: 1234, TransientRate: 0.5}
+	// Find a prompt whose fault stream is fail-then-succeed under this
+	// profile (the draw is a pure function of seed, fingerprint, attempt).
+	prompt := ""
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("probe %d", i)
+		fp := Fingerprint("echo", CompletionRequest{Prompt: cand})
+		if chaosU(profile.Seed, fp, 0) < 0.5 && chaosU(profile.Seed, fp, 1) >= 0.5 {
+			prompt = cand
+			break
+		}
+	}
+	if prompt == "" {
+		t.Fatal("no fail-then-succeed prompt in 1000 candidates")
+	}
+
+	chaos := NewChaos(&echoModel{}, profile)
+	gate := &gateModel{inner: chaos, release: make(chan struct{})}
+	c := NewCoalescer(gate)
+
+	const K = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, K)
+	respc := make(chan CompletionResponse, K)
+	started := make(chan struct{}, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			resp, err := c.Complete(CompletionRequest{Prompt: prompt})
+			if err != nil {
+				errc <- err
+			} else {
+				respc <- resp
+			}
+		}()
+	}
+	for i := 0; i < K; i++ {
+		<-started
+	}
+	// Wait until one caller has become leader and the rest have joined its
+	// flight, then open the gate: the leader's attempt draws the injected
+	// fault, the followers re-enter, and one of them is promoted.
+	for {
+		c.mu.Lock()
+		waiting := c.stats.FlightHits
+		c.mu.Unlock()
+		if waiting == K-1 {
+			break
+		}
+	}
+	close(gate.release)
+	wg.Wait()
+	close(errc)
+	close(respc)
+
+	var errs []error
+	for err := range errc {
+		errs = append(errs, err)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("exactly the failed call's leader sees the error, got %d: %v", len(errs), errs)
+	}
+	if !errors.Is(errs[0], Retryable) {
+		t.Fatalf("leader's error lost its class: %v", errs[0])
+	}
+	for resp := range respc {
+		if !strings.HasPrefix(resp.Text, "echo:") {
+			t.Fatalf("follower got a wrong answer: %+v", resp)
+		}
+	}
+	s := c.Stats()
+	if s.LiveCalls != 2 {
+		t.Fatalf("live calls: %+v (want failed leader + promoted leader)", s)
+	}
+	if s.Promotions != 1 {
+		t.Fatalf("promotions: %+v", s)
+	}
+	if s.Errors != 1 {
+		t.Fatalf("errors: %+v", s)
+	}
+	if cs := chaos.Stats(); cs.Transient != 1 || cs.Calls != 2 {
+		t.Fatalf("chaos counters: %+v", cs)
 	}
 }

@@ -64,6 +64,10 @@ type ScanDecision struct {
 	// WarmHitRate is the expected persistent prompt-cache hit rate the
 	// pricing discounted estimated $ and wall by (0 = cold or no cache).
 	WarmHitRate float64
+	// FaultRate is the expected per-attempt failure probability the pricing
+	// inflated estimated wall by (0 = healthy backend). Nonzero means every
+	// candidate's Wall includes expected retry round trips and backoff.
+	FaultRate float64
 	// Candidates holds the cost breakdown per strategy, in a stable order.
 	Candidates []StrategyCost
 }
@@ -96,6 +100,9 @@ func (d ScanDecision) String() string {
 	}
 	if d.WarmHitRate > 0 {
 		fmt.Fprintf(&b, " warm-hit=%.2f", d.WarmHitRate)
+	}
+	if d.FaultRate > 0 {
+		fmt.Fprintf(&b, " fault-rate=%.2f", d.FaultRate)
 	}
 	for _, c := range d.Candidates {
 		fmt.Fprintf(&b, " | %s: %d prompts, %d tok, $%.4f, %s",
@@ -208,6 +215,22 @@ type ScanCostModel struct {
 	// Prompt and token counts stay undiscounted: the calls are still
 	// issued, they are just free.
 	WarmHitRate float64
+	// FaultRate is the expected per-attempt probability that a model call
+	// fails retryably (the engine derives it from the configured chaos
+	// profile; 0 on a healthy backend). Nonzero rates price expected
+	// recovery into every candidate's wall: each call is extended by the
+	// expected number of retries times a failed round trip plus
+	// RetryBackoff. Dollars are left alone — failed attempts return no
+	// tokens, and that is what dollars charge for. Like the warm discount
+	// this applies uniformly, so the strategy choice itself is unchanged;
+	// EXPLAIN surfaces the rate so a degraded estimate is recognizable.
+	FaultRate float64
+	// RetryBackoff is the expected backoff wait per retry (the retry
+	// policy's base backoff; exponential growth and jitter average out
+	// around it at low fault rates).
+	RetryBackoff time.Duration
+	// MaxAttempts caps the expected retries per call at the retry budget.
+	MaxAttempts int
 }
 
 func (m ScanCostModel) normalized() ScanCostModel {
@@ -244,7 +267,50 @@ func (m ScanCostModel) normalized() ScanCostModel {
 	if m.WarmHitRate > 1 {
 		m.WarmHitRate = 1
 	}
+	if m.FaultRate < 0 {
+		m.FaultRate = 0
+	}
+	if m.FaultRate > 1 {
+		m.FaultRate = 1
+	}
+	if m.RetryBackoff < 0 {
+		m.RetryBackoff = 0
+	}
+	if m.MaxAttempts < 1 {
+		m.MaxAttempts = 1
+	}
 	return m
+}
+
+// expectedRetries is the expected number of extra attempts one call spends
+// recovering at the configured fault rate: the geometric mean p/(1-p),
+// capped by the attempt budget (a run that exhausts the budget stops
+// retrying whether or not the backend recovered).
+func (m ScanCostModel) expectedRetries() float64 {
+	p := m.FaultRate
+	if p <= 0 {
+		return 0
+	}
+	if p > 0.99 {
+		p = 0.99
+	}
+	r := p / (1 - p)
+	if lim := float64(m.MaxAttempts - 1); r > lim {
+		r = lim
+	}
+	return r
+}
+
+// faultOverhead is the expected extra virtual time one call spends on
+// recovery: each expected retry burns a failed round trip plus one backoff
+// wait — exactly what the Retrier charges into FaultLatency, in
+// expectation.
+func (m ScanCostModel) faultOverhead() time.Duration {
+	r := m.expectedRetries()
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(r * float64(m.Cost.PerCallLatency+m.RetryBackoff))
 }
 
 // effRows is the estimated number of entities the model returns for an
@@ -304,8 +370,10 @@ func (m ScanCostModel) attrKeys() int {
 
 // fanOutWall replays n calls of per-call duration d through the same greedy
 // list scheduler the engine accounts with, returning the makespan under the
-// configured lane count.
+// configured lane count. Each call carries its expected fault-recovery
+// overhead, occupying its lane the way the engine's accounting would.
 func (m ScanCostModel) fanOutWall(n int, d time.Duration) time.Duration {
+	d += m.faultOverhead()
 	sched := llm.NewSched(m.Parallelism)
 	for i := 0; i < n; i++ {
 		sched.Add(d)
@@ -373,7 +441,7 @@ func (m ScanCostModel) Paged() StrategyCost {
 		ct := rows * m.RowTokens
 		promptTok += pt
 		complTok += ct
-		wall += m.Cost.Latency(pt, ct)
+		wall += m.Cost.Latency(pt, ct) + m.faultOverhead()
 	}
 	return m.price("paged", pages, promptTok, complTok, wall)
 }
@@ -465,6 +533,7 @@ func (m ScanCostModel) Decide() ScanDecision {
 		Limit:             m.Limit,
 		EstKeysAttributed: m.attrKeys(),
 		WarmHitRate:       m.WarmHitRate,
+		FaultRate:         m.FaultRate,
 		Candidates:        cands,
 	}
 }

@@ -19,6 +19,10 @@ const (
 	CodeTenantConcurrency = "tenant-concurrency"
 	// CodeBudget: the tenant has consumed its token budget.
 	CodeBudget = "budget"
+	// CodeDraining: the server is shutting down and the session will close
+	// after this response. Clients should reconnect elsewhere; unlike the
+	// backpressure codes, retrying on this connection cannot succeed.
+	CodeDraining = "draining"
 )
 
 // RejectError is an admission-control rejection; Code is one of the Code*

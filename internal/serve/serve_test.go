@@ -533,3 +533,90 @@ func TestProtocolValueRoundTrip(t *testing.T) {
 		t.Fatalf("schema: %s vs %s", got.Schema.String(), schema.String())
 	}
 }
+
+// TestServeDrainingRejectionCode pins the machine-readable shutdown
+// rejection: a request that slips into the drain window — decoded after
+// Shutdown marked the session closing but before its connection closed —
+// is answered with ok=false and Code "draining", so clients can tell an
+// orderly shutdown from a dropped link and reconnect elsewhere instead of
+// retrying the same connection. The window is inherently a race, so the
+// test holds it open deterministically: marking the session in-flight
+// keeps drain() from closing the idle connection, exactly as if a request
+// were being handled when shutdown began.
+func TestServeDrainingRejectionCode(t *testing.T) {
+	w := testWorld()
+	g, err := core.NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), servingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	addr, srv := startServer(t, g, Config{})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if resp, err := c.Do(Request{Op: "ping"}); err != nil || !resp.OK {
+		t.Fatalf("ping: %+v err=%v", resp, err)
+	}
+
+	srv.mu.Lock()
+	if len(srv.sessions) != 1 {
+		srv.mu.Unlock()
+		t.Fatalf("sessions = %d, want 1", len(srv.sessions))
+	}
+	var sess *session
+	for s := range srv.sessions {
+		sess = s
+	}
+	srv.mu.Unlock()
+
+	// Hold the drain window open, then start the shutdown and wait until
+	// drain() has marked the session closing (it leaves the connection up
+	// because of the in-flight request).
+	sess.mu.Lock()
+	sess.inFlight = true
+	sess.mu.Unlock()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sess.mu.Lock()
+		closing := sess.closing
+		sess.mu.Unlock()
+		if closing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never marked the session closing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := c.Do(Request{Op: "ping"})
+	if err != nil {
+		t.Fatalf("request in the drain window must still get a response: %v", err)
+	}
+	if resp.OK {
+		t.Fatalf("request in the drain window succeeded: %+v", resp)
+	}
+	if resp.Code != CodeDraining {
+		t.Fatalf("rejection code = %q, want %q", resp.Code, CodeDraining)
+	}
+	if resp.ID != 2 {
+		t.Fatalf("draining response lost its request ID: %+v", resp)
+	}
+	// The rejection is terminal for this connection, and the shutdown
+	// completes once the session retires.
+	if _, err := c.Do(Request{Op: "ping"}); err == nil {
+		t.Fatal("connection must close after the draining rejection")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

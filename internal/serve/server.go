@@ -43,9 +43,32 @@ type Stats struct {
 	Errors  int `json:"errors"`
 	// Admission reports slot and budget outcomes.
 	Admission AdmissionStats `json:"admission"`
+	// Faults aggregates the scan-level fault recovery and degradation of
+	// every query served (all zero on a healthy backend).
+	Faults FaultStats `json:"faults"`
 	// Group is the operator-side engine view: billed vs live usage and the
 	// coalescer's counters.
 	Group core.GroupStats `json:"group"`
+}
+
+// FaultStats sums the fault counters of the ScanStats every served query
+// reported: how many keys degraded away under PartialResults, and how much
+// retry/hedge recovery the queries consumed.
+type FaultStats struct {
+	KeysFailed     int `json:"keys_failed"`
+	RetriesSpent   int `json:"retries_spent"`
+	HedgesLaunched int `json:"hedges_launched"`
+	HedgesWon      int `json:"hedges_won"`
+}
+
+// add folds one query's scan statistics in.
+func (f *FaultStats) add(scans []core.ScanStats) {
+	for _, sc := range scans {
+		f.KeysFailed += sc.KeysFailed
+		f.RetriesSpent += sc.RetriesSpent
+		f.HedgesLaunched += sc.HedgesLaunched
+		f.HedgesWon += sc.HedgesWon
+	}
 }
 
 // Server speaks the line/JSON protocol over any net.Listener. One Server
@@ -61,6 +84,7 @@ type Server struct {
 	total     int
 	queries   int
 	errors    int
+	faults    FaultStats
 	wg        sync.WaitGroup
 }
 
@@ -189,6 +213,7 @@ func (s *Server) Stats() Stats {
 		TotalSessions: s.total,
 		Queries:       s.queries,
 		Errors:        s.errors,
+		Faults:        s.faults,
 	}
 	s.mu.Unlock()
 	st.Admission = s.adm.Stats()
@@ -205,6 +230,12 @@ func (s *Server) countQuery() {
 func (s *Server) countError() {
 	s.mu.Lock()
 	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *Server) countScans(scans []core.ScanStats) {
+	s.mu.Lock()
+	s.faults.add(scans)
 	s.mu.Unlock()
 }
 

@@ -77,6 +77,17 @@ func (s *session) run() {
 		s.mu.Lock()
 		if s.closing {
 			s.mu.Unlock()
+			// A request raced the drain deadline: answer it with the
+			// machine-readable draining code before the connection closes,
+			// so clients can distinguish shutdown from a dropped link and
+			// reconnect instead of retrying here.
+			resp := errResponse(&RejectError{Code: CodeDraining, Msg: "server shutting down"})
+			resp.ID = req.ID
+			s.server.countError()
+			if wt := s.server.cfg.WriteTimeout; wt > 0 {
+				s.conn.SetWriteDeadline(time.Now().Add(wt))
+			}
+			enc.Encode(resp)
 			return
 		}
 		s.inFlight = true
@@ -230,6 +241,7 @@ func (s *session) runQuery(req *Request, sqlText string, stmt *core.Stmt) *Respo
 		return errResponse(err)
 	}
 	release(qr.Usage.TotalTokens())
+	s.server.countScans(qr.Scans)
 	cols, types, rows := EncodeRows(qr.Result)
 	resp := &Response{
 		OK:      true,
