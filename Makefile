@@ -4,10 +4,10 @@ GO ?= go
 # never clobber each other. CI sets it to a workspace path to upload the
 # JSON as an artifact when the gate fails.
 BENCH_CURRENT ?=
-BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14,Table 15,Figure 8,Frontend
+BENCH_REQUIRE := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14,Table 15,Table 16,Figure 8,Frontend
 REPLAY_FIXTURE := testdata/replay/bench_suite.json
 REPLAY_SCALE := 0.25
-REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14
+REPLAY_ONLY := Table 9,Table 10,Table 11,Table 12,Table 13,Table 14,Table 16
 # chaos-check runs the replayed efficiency suite with seeded fault
 # injection on top (the chaos layer sits above the trace layer, so the two
 # compose): each pinned seed must produce byte-identical output across two

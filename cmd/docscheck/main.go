@@ -4,8 +4,8 @@
 //
 //   - godoc coverage: every package (the root llmsql facade and everything
 //     under internal/) carries a package comment, and the exported
-//     identifiers of the API-surface packages (core, llm, plan) all carry
-//     doc comments — types, functions and methods alike.
+//     identifiers of the API-surface packages (core, llm, plan, storage,
+//     exec) all carry doc comments — types, functions and methods alike.
 //
 //   - README flag tables: the markdown tables committed inside
 //     <!-- flags:NAME --> ... <!-- /flags:NAME --> markers must be
@@ -34,7 +34,7 @@ import (
 
 // apiPackages are the packages whose exported identifiers must all carry
 // doc comments (the rest only need package comments).
-var apiPackages = map[string]bool{"core": true, "llm": true, "plan": true}
+var apiPackages = map[string]bool{"core": true, "llm": true, "plan": true, "storage": true, "exec": true}
 
 func main() {
 	var (

@@ -64,6 +64,7 @@ func main() {
 		limitPush  = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early")
 		bindJoin   = flag.Bool("bind-join", true, "let joins pass the outer side's distinct keys into the inner key-then-attr scan")
 		tolerant   = flag.Bool("tolerant", true, "use the repairing completion parser")
+		viewTTL    = flag.Int("view-ttl", 0, "warm reads a session's materialized view serves before going stale and falling back to live scans until REFRESH (0 = never)")
 		countries  = flag.Int("countries", 120, "world size: countries")
 		movies     = flag.Int("movies", 200, "world size: movies")
 		maxConc    = flag.Int("max-concurrent", 0, "global concurrent-query limit (0 = unlimited)")
@@ -110,6 +111,7 @@ func main() {
 	cfg.LimitPushdown = *limitPush
 	cfg.BindJoin = *bindJoin
 	cfg.Tolerant = *tolerant
+	cfg.ViewTTLReads = *viewTTL
 	faults.Apply(&cfg)
 	cfg.Strategy, err = strategyByName(*strategy)
 	if err != nil {

@@ -59,6 +59,7 @@ func main() {
 		limitPush  = flag.Bool("limit-pushdown", true, "push LIMIT hints onto scans so streaming key-then-attr retrieval stops early (identical rows, fewer prompts)")
 		bindJoin   = flag.Bool("bind-join", true, "let joins pass the outer side's distinct keys into the inner key-then-attr scan (identical rows, fewer prompts)")
 		tolerant   = flag.Bool("tolerant", true, "use the repairing completion parser")
+		viewTTL    = flag.Int("view-ttl", 0, "warm reads a materialized view serves before going stale and falling back to live scans until REFRESH (0 = never)")
 		score      = flag.Bool("score", false, "score results against the ground truth")
 		explain    = flag.Bool("explain", false, "print the plan instead of executing")
 		analyze    = flag.Bool("analyze", false, "execute and print the plan with per-operator row counts")
@@ -109,6 +110,7 @@ func main() {
 	cfg.LimitPushdown = *limitPush
 	cfg.BindJoin = *bindJoin
 	cfg.Tolerant = *tolerant
+	cfg.ViewTTLReads = *viewTTL
 	faults.Apply(&cfg)
 	cfg.Strategy, err = strategyByName(*strategy)
 	if err != nil {
@@ -313,11 +315,13 @@ func runRemote(addr, tenant string, params *paramFlags, explain, analyze bool) {
 	runLoop(runOne)
 }
 
-// isLocalWrite reports whether a statement is DDL/DML for the local row
-// store rather than a query against LLM storage.
+// isLocalWrite reports whether a statement goes through Exec — local
+// row-store DDL/DML or the materialized-view lifecycle — rather than the
+// query path against LLM storage.
 func isLocalWrite(query string) bool {
 	upper := strings.ToUpper(strings.TrimSpace(query))
-	return strings.HasPrefix(upper, "CREATE") || strings.HasPrefix(upper, "INSERT")
+	return strings.HasPrefix(upper, "CREATE") || strings.HasPrefix(upper, "INSERT") ||
+		strings.HasPrefix(upper, "REFRESH") || strings.HasPrefix(upper, "DROP")
 }
 
 // printUsage prints the one-line retrieval report shared by the embedded
@@ -330,6 +334,11 @@ func printUsage(u llm.Usage) {
 
 // printScan prints one per-scan statistics line.
 func printScan(s core.ScanStats) {
+	if s.Materialized != "" {
+		fmt.Printf("scan %s [materialized, age %d]: %d rows, 0 prompts\n",
+			s.Table, s.ViewAge, s.RowsEmitted)
+		return
+	}
 	fmt.Printf("scan %s [%s]: %d prompts, %d rounds, %d rows, %d dupes dropped, %d repairs",
 		s.Table, s.Label(), s.Prompts, s.Rounds, s.RowsEmitted, s.Duplicates, s.Parse.Repairs)
 	if s.BatchedPrompts > 0 {

@@ -283,6 +283,7 @@ var experiments = []struct {
 	{"Table 13", Table13WarmCache},
 	{"Table 14", Table14Coalesce},
 	{"Table 15", Table15FaultSweep},
+	{"Table 16", Table16MaterializedViews},
 	{"Figure 4", Figure4Convergence},
 	{"Figure 5", Figure5ModelQuality},
 	{"Figure 6", Figure6Popularity},

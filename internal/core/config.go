@@ -191,6 +191,13 @@ type Config struct {
 	// llm.DefaultRetryPolicy, under which the layer is a transparent no-op
 	// until something actually fails.
 	Retry llm.RetryPolicy
+	// ViewTTLReads is the freshness budget of materialized views: a view
+	// that has served this many warm reads since its last build or refresh
+	// goes stale — later statements re-plan onto live retrieval until
+	// REFRESH MATERIALIZED VIEW rebuilds it. Views age by use, never by
+	// wall clock, so replayed runs expire views at identical points. 0 (the
+	// default) means views never expire on their own.
+	ViewTTLReads int
 	// PartialResults lets scans survive exhausted retries instead of
 	// failing the query: a key whose attribute call still fails after the
 	// full retry budget is dropped from the result (counted in
@@ -261,6 +268,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Parallelism < 1 {
 		c.Parallelism = 1
+	}
+	if c.ViewTTLReads < 0 {
+		c.ViewTTLReads = 0
 	}
 	return c
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"llmsql/internal/exec"
@@ -29,9 +30,19 @@ type Engine struct {
 	plans   *planCache      // optional, per Config.PlanCacheCapacity
 	// gen is the catalog generation: bumped whenever a change could make a
 	// cached plan wrong (table registered, local store attached or written,
-	// cost model replaced). Cached plans carry the generation they were
-	// planned at and are discarded on mismatch.
+	// cost model replaced, materialized view created/refreshed/dropped or
+	// gone stale). Cached plans carry the generation they were planned at
+	// and are discarded on mismatch.
 	gen atomic.Uint64
+
+	// viewMu guards the materialized-view registry and counters below.
+	// viewDB holds the materialized rows, one table per view, separate from
+	// the user's local store so DROP MATERIALIZED VIEW can never collide
+	// with user tables.
+	viewMu     sync.Mutex
+	viewDB     *storage.DB
+	views      map[string]*matView
+	viewTotals ViewStats
 }
 
 // New builds an engine over the model with the given configuration. It is
@@ -257,9 +268,11 @@ func (e *Engine) Query(query string, args ...any) (*QueryResult, error) {
 	return qr, err
 }
 
-// Exec runs a DDL/DML statement (CREATE TABLE, INSERT) against the local
-// row store, creating one automatically on first use. Virtual tables cannot
-// be created or written this way — the model is read-only storage.
+// Exec runs a DDL/DML statement: CREATE TABLE and INSERT against the local
+// row store (created automatically on first use), and the materialized-view
+// lifecycle — CREATE MATERIALIZED VIEW ... AS SELECT, REFRESH MATERIALIZED
+// VIEW, DROP MATERIALIZED VIEW. Virtual tables cannot be created or written
+// this way — the model is read-only storage.
 func (e *Engine) Exec(statement string) error {
 	stmt, err := sql.Parse(statement)
 	if err != nil {
@@ -301,6 +314,15 @@ func (e *Engine) Exec(statement string) error {
 		// join ordering relied on.
 		e.invalidatePlans()
 		return nil
+
+	case *sql.CreateViewStmt:
+		return e.createView(st)
+
+	case *sql.RefreshViewStmt:
+		return e.refreshView(st.Name)
+
+	case *sql.DropViewStmt:
+		return e.dropView(st.Name)
 
 	case *sql.SelectStmt:
 		return fmt.Errorf("core: use Query for SELECT statements")
@@ -388,9 +410,15 @@ func (e *Engine) planOptions() plan.Options {
 	return opts
 }
 
-// catalog resolves virtual tables first, then local ones.
+// catalog resolves virtual tables first, then materialized views, then
+// local ones. Stale views never reach the catalog by name — planQuery
+// expands them into their defining queries first — so a view table here is
+// always servable.
 func (e *Engine) catalog() plan.Catalog {
 	cats := plan.MultiCatalog{e.store}
+	if e.viewDB != nil {
+		cats = append(cats, &exec.StorageCatalog{DB: e.viewDB})
+	}
 	if e.local != nil {
 		cats = append(cats, &exec.StorageCatalog{DB: e.local})
 	}
@@ -410,6 +438,9 @@ type routingSource struct {
 func (r *routingSource) Scan(req exec.ScanRequest) (exec.RowIter, error) {
 	if r.engine.store.Has(req.Table) {
 		return r.engine.store.Scan(req)
+	}
+	if v := r.engine.freshView(req.Table); v != nil {
+		return r.engine.scanView(v, req)
 	}
 	if r.engine.local != nil && r.engine.local.HasTable(req.Table) {
 		src := &exec.StorageSource{DB: r.engine.local}

@@ -50,6 +50,9 @@ type EngineGroup struct {
 	sessions map[*Engine]struct{}
 	total    int       // sessions ever created
 	closed   llm.Usage // billed usage of sessions already closed
+	// closedViews accumulates the materialized-view counters of sessions
+	// already closed (views are session-local, like prepared statements).
+	closedViews ViewStats
 }
 
 // NewEngineGroup assembles the shared serving stack over the model. The
@@ -142,6 +145,7 @@ func (g *EngineGroup) CloseSession(e *Engine) {
 	}
 	delete(g.sessions, e)
 	g.closed.Add(e.TotalUsage())
+	g.closedViews.Add(e.ViewStats())
 }
 
 // RegisterTable declares a virtual table on the group and on every live
@@ -228,6 +232,10 @@ type GroupStats struct {
 	// Chaos reports the fault injector's counters (zero when Config.Chaos
 	// is disabled).
 	Chaos llm.ChaosStats
+	// Views aggregates materialized-view activity across every session,
+	// live and closed: how many views were built, how many scans the row
+	// stores absorbed, and what refreshes actually cost live.
+	Views ViewStats
 }
 
 // Stats returns a snapshot of the group's operator-side counters.
@@ -237,9 +245,11 @@ func (g *EngineGroup) Stats() GroupStats {
 		Sessions:      len(g.sessions),
 		TotalSessions: g.total,
 		Billed:        g.closed,
+		Views:         g.closedViews,
 	}
 	for e := range g.sessions {
 		s.Billed.Add(e.TotalUsage())
+		s.Views.Add(e.ViewStats())
 	}
 	g.mu.Unlock()
 	s.Live = g.live.Usage()

@@ -62,12 +62,26 @@ func (e *Engine) planQuery(query string, gen uint64) (*preparedQuery, error) {
 		}
 	case *sql.CreateTableStmt, *sql.InsertStmt:
 		return nil, fmt.Errorf("core: use Exec for CREATE TABLE and INSERT statements")
+	case *sql.CreateViewStmt, *sql.RefreshViewStmt, *sql.DropViewStmt:
+		return nil, fmt.Errorf("core: use Exec for materialized view statements")
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+	// Stale views fall back to live retrieval: their references become
+	// derived tables over the defining query before planning, so the name
+	// never resolves to the expired row store. Fresh views plan as ordinary
+	// row-store scans, annotated for EXPLAIN. Both passes are skipped when
+	// no views exist, keeping the view-free plan path allocation-identical.
+	hasViews := e.hasViews()
+	if hasViews {
+		e.expandStaleViews(pq.sel, map[string]bool{})
 	}
 	node, err := plan.PlanOpts(pq.sel, e.catalog(), e.planOptions())
 	if err != nil {
 		return nil, err
+	}
+	if hasViews {
+		e.annotateViewScans(node)
 	}
 	pq.node = node
 	pq.params = sql.CollectParams(pq.sel)

@@ -94,11 +94,21 @@ type ScanStats struct {
 	HedgesWon      int
 	// Parse aggregates the parser counters.
 	Parse ParseStats
+	// Materialized, when non-empty, names the materialized view whose row
+	// store served this scan: no prompts, no model calls — only Table,
+	// RowsEmitted and ViewAge are meaningful.
+	Materialized string
+	// ViewAge is the number of warm reads the view had served since its
+	// last build or refresh when this scan ran (0 = first read).
+	ViewAge int
 }
 
 // Label names the scan's strategy for display, marking cost-based choices
-// ("auto:paged").
+// ("auto:paged") and materialized-view substitutions ("materialized").
 func (s ScanStats) Label() string {
+	if s.Materialized != "" {
+		return "materialized"
+	}
 	if s.Auto {
 		return "auto:" + s.Strategy.String()
 	}
@@ -172,6 +182,24 @@ func (s *LLMStore) Has(name string) bool {
 	defer s.mu.Unlock()
 	_, ok := s.tables[strings.ToLower(name)]
 	return ok
+}
+
+// table returns the registered virtual table, for in-package callers that
+// need more than the schema (prompt reconstruction).
+func (s *LLMStore) table(name string) (*VirtualTable, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// noteViewScan publishes the synthesized statistics of a scan a
+// materialized view absorbed, so QueryResult.Scans reports the substitution
+// alongside real retrievals.
+func (s *LLMStore) noteViewScan(st ScanStats) {
+	s.mu.Lock()
+	s.stats = append(s.stats, st)
+	s.mu.Unlock()
 }
 
 // TakeStats returns and clears the accumulated scan statistics.

@@ -62,7 +62,9 @@ type diskEntry struct {
 	size int64
 }
 
-// diskRecord is the on-disk JSON shape of one completion.
+// diskRecord is the on-disk JSON shape of one completion. A record with
+// Deleted set is a tombstone: it removes the fingerprint's live entry when
+// replayed at load, making Invalidate durable across reopens.
 type diskRecord struct {
 	FP        string `json:"fp"`
 	Version   int    `json:"v"`
@@ -70,6 +72,7 @@ type diskRecord struct {
 	Prompt    int    `json:"pt"`
 	Compl     int    `json:"ct"`
 	Truncated bool   `json:"tr,omitempty"`
+	Deleted   bool   `json:"del,omitempty"`
 }
 
 // DiskCacheStats reports the persistent cache's effectiveness and occupancy.
@@ -171,6 +174,13 @@ func (c *DiskCache) load(version int) error {
 				c.deadBytes += size
 				continue // format change invalidates persisted entries
 			}
+			if rec.Deleted {
+				// Tombstone: the fingerprint's earlier record (if still live)
+				// and the tombstone itself are both dead bytes now.
+				c.removeLocked(rec.FP)
+				c.deadBytes += size
+				continue
+			}
 			c.insertLocked(rec.FP, CompletionResponse{
 				Text:             rec.Text,
 				PromptTokens:     rec.Prompt,
@@ -240,6 +250,48 @@ func (c *DiskCache) Contains(req CompletionRequest) bool {
 	defer c.mu.Unlock()
 	_, ok := c.entries[fp]
 	return ok
+}
+
+// Invalidate drops the request's persisted completion, reporting whether an
+// entry was live. The removal is durable: a tombstone record is appended to
+// the active segment, so a reopened cache stays cold for the fingerprint
+// until the model answers it again. Used to force selective re-asks —
+// materialized-view refresh tests and staleness drills.
+func (c *DiskCache) Invalidate(req CompletionRequest) bool {
+	fp := fingerprintAt(c.version, c.Name(), req)
+	rec := diskRecord{FP: fp, Version: c.version, Deleted: true}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	data = append(data, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[fp]; !ok {
+		return false
+	}
+	if _, err := c.seg.Write(data); err != nil {
+		c.stats.WriteErrors++
+		// The in-memory removal still proceeds: this process stays cold, and
+		// the worst case after a reopen is a stale hit, same as any lost write.
+	}
+	c.removeLocked(fp)
+	c.deadBytes += int64(len(data))
+	return true
+}
+
+// removeLocked drops the fingerprint's live entry (if any), moving its
+// on-disk record to the dead set.
+func (c *DiskCache) removeLocked(fp string) {
+	el, ok := c.entries[fp]
+	if !ok {
+		return
+	}
+	e := el.Value.(*diskEntry)
+	c.order.Remove(el)
+	delete(c.entries, fp)
+	c.liveBytes -= e.size
+	c.deadBytes += e.size
 }
 
 // put persists one completion and inserts it into the index, evicting and

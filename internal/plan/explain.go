@@ -41,6 +41,9 @@ func explain(b *strings.Builder, n Node, depth int) {
 		if x.Decision != nil {
 			fmt.Fprintf(b, " [%s]", x.Decision)
 		}
+		if x.Materialized != "" {
+			fmt.Fprintf(b, " [materialized=%s age=%d]", x.Materialized, x.MaterializedAge)
+		}
 		b.WriteByte('\n')
 
 	case *FilterNode:

@@ -46,6 +46,14 @@ type ScanNode struct {
 	// for this table (virtual tables only): the chosen prompt decomposition
 	// and its per-strategy cost breakdown, surfaced by EXPLAIN.
 	Decision *ScanDecision
+	// Materialized, when non-empty, names the materialized view whose row
+	// store serves this scan instead of a live LLM retrieval; EXPLAIN
+	// renders it as [materialized=name age=N].
+	Materialized string
+	// MaterializedAge is the view's age when the plan was built, counted in
+	// warm reads served since the last build or refresh (views age by use,
+	// not wall clock, so replayed plans stay deterministic).
+	MaterializedAge int
 }
 
 // Schema implements Node.

@@ -6,6 +6,8 @@ import (
 	"net"
 	"strings"
 	"time"
+
+	"llmsql/internal/core"
 )
 
 // Client is a minimal synchronous client for the line/JSON protocol: one
@@ -75,9 +77,22 @@ func (c *Client) Query(sqlText string, args []any, named map[string]any) (*Respo
 	return c.Do(Request{Op: "query", SQL: sqlText, Args: args, Named: named})
 }
 
-// Exec runs a local DDL/DML statement.
+// Exec runs a DDL/DML statement (local writes, CREATE/REFRESH/DROP
+// MATERIALIZED VIEW).
 func (c *Client) Exec(sqlText string) (*Response, error) {
 	return c.Do(Request{Op: "exec", SQL: sqlText})
+}
+
+// Views lists the session's materialized views and their freshness state.
+func (c *Client) Views() ([]core.ViewInfo, error) {
+	resp, err := c.Do(Request{Op: "views"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("serve: views: %s", resp.Error)
+	}
+	return resp.Views, nil
 }
 
 // Explain returns the rendered plan without executing.

@@ -26,7 +26,9 @@ type Request struct {
 	// ID is an opaque client correlation token echoed on the response.
 	ID int64 `json:"id,omitempty"`
 	// Op is one of: hello, query, exec, explain, prepare, stmt, close_stmt,
-	// set, stats, ping.
+	// set, stats, views, ping. exec also carries the materialized-view
+	// lifecycle (CREATE/REFRESH/DROP MATERIALIZED VIEW); views lists the
+	// session's materialized views and their freshness state.
 	Op string `json:"op"`
 	// SQL carries the statement for query/exec/explain/prepare.
 	SQL string `json:"sql,omitempty"`
@@ -63,9 +65,12 @@ type Response struct {
 	// Plan is the rendered plan (explain, or query/stmt with Analyze).
 	Plan string `json:"plan,omitempty"`
 	// Usage and Scans report the query's billed consumption, exactly as a
-	// solo engine would report them.
+	// solo engine would report them. exec responses carry Usage too (a view
+	// build or refresh spends model tokens; plain local DDL reports zeros).
 	Usage *llm.Usage       `json:"usage,omitempty"`
 	Scans []core.ScanStats `json:"scans,omitempty"`
+	// Views lists the session's materialized views (views op).
+	Views []core.ViewInfo `json:"views,omitempty"`
 	// Stmt returns the prepared-statement handle (prepare).
 	Stmt int64 `json:"stmt,omitempty"`
 	// Session returns the server-assigned session id (hello).

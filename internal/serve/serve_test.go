@@ -620,3 +620,73 @@ func TestServeDrainingRejectionCode(t *testing.T) {
 		t.Fatalf("shutdown: %v", err)
 	}
 }
+
+// TestServeViewLifecycleAndBudgetCharging drives the materialized-view
+// surface over the wire: exec builds the view (and its model spend is
+// charged to the tenant), warm reads cost zero tokens, the views op reports
+// freshness, and an all-warm refresh charges nothing.
+func TestServeViewLifecycleAndBudgetCharging(t *testing.T) {
+	w := testWorld()
+	g, err := core.NewEngineGroup(llm.NewSynthLM(w, llm.ProfileMedium, 7), servingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.RegisterWorldDomain(w.Domain("country"))
+	addr, srv := startServer(t, g, Config{})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello("viewtenant"); err != nil {
+		t.Fatal(err)
+	}
+	build, err := c.Exec("CREATE MATERIALIZED VIEW top AS SELECT name, capital FROM country")
+	if err != nil || !build.OK {
+		t.Fatalf("create view: %+v err=%v", build, err)
+	}
+	if build.Usage == nil || build.Usage.TotalTokens() == 0 {
+		t.Fatalf("view build reported no usage: %+v", build.Usage)
+	}
+	read, err := c.Query("SELECT name FROM top", nil, nil)
+	if err != nil || !read.OK {
+		t.Fatalf("view read: %+v err=%v", read, err)
+	}
+	if read.Usage.Calls != 0 {
+		t.Fatalf("warm view read cost %d calls", read.Usage.Calls)
+	}
+	if len(read.Scans) != 1 || read.Scans[0].Materialized != "top" {
+		t.Fatalf("scan stats: %+v", read.Scans)
+	}
+	views, err := c.Views()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].Name != "top" || views[0].Stale || views[0].Rows == 0 {
+		t.Fatalf("views: %+v", views)
+	}
+	// No persistent cache in this stack, but the in-session plan and the
+	// deterministic synth model make the refresh re-ask everything live:
+	// usage must be charged again, and the view must stay servable.
+	refresh, err := c.Exec("REFRESH MATERIALIZED VIEW top")
+	if err != nil || !refresh.OK {
+		t.Fatalf("refresh: %+v err=%v", refresh, err)
+	}
+	drop, err := c.Exec("DROP MATERIALIZED VIEW top")
+	if err != nil || !drop.OK {
+		t.Fatalf("drop: %+v err=%v", drop, err)
+	}
+	if resp, err := c.Query("SELECT name FROM top", nil, nil); err != nil || resp.OK {
+		t.Fatalf("dropped view still served: %+v err=%v", resp, err)
+	}
+	ts := srv.Stats().Admission.Tenants["viewtenant"]
+	if ts.TokensUsed < build.Usage.TotalTokens() {
+		t.Fatalf("tenant charged %d tokens, build alone cost %d", ts.TokensUsed, build.Usage.TotalTokens())
+	}
+	gs := g.Stats()
+	if gs.Views.Created != 1 || gs.Views.WarmReads != 1 || gs.Views.Refreshes != 1 {
+		t.Fatalf("group view stats: %+v", gs.Views)
+	}
+}

@@ -176,6 +176,9 @@ func (s *session) handle(req *Request) *Response {
 		delete(s.stmts, req.Stmt)
 		delete(s.stmtSQL, req.Stmt)
 		return &Response{OK: true}
+	case "views":
+		views := s.eng.Views()
+		return &Response{OK: true, Views: views}
 	case "exec":
 		return s.runExec(req)
 	case "query":
@@ -191,22 +194,30 @@ func (s *session) handle(req *Request) *Response {
 	}
 }
 
-// runExec runs a local DDL/DML statement under an admission slot and
-// broadcasts the catalog change to the group's other sessions.
+// runExec runs a DDL/DML statement — local writes and the materialized-view
+// lifecycle — under an admission slot. Model spend the statement incurred
+// (a view build, the cold fingerprints of a refresh) is charged to the
+// tenant's token budget; cached completions charge nothing, so an all-warm
+// REFRESH is budget-free.
 func (s *session) runExec(req *Request) *Response {
 	release, err := s.server.adm.Acquire(s.tenant)
 	if err != nil {
 		return errResponse(err)
 	}
-	defer release(0)
 	s.server.countQuery()
+	before := s.eng.TotalUsage()
 	if err := s.eng.Exec(req.SQL); err != nil {
+		release(s.eng.TotalUsage().Sub(before).TotalTokens())
 		return errResponse(err)
 	}
+	usage := s.eng.TotalUsage().Sub(before)
+	release(usage.TotalTokens())
 	// The write already invalidated this session's plans; the row store is
-	// shared, so every other session's plans must notice too.
+	// shared, so every other session's plans must notice too. (Materialized
+	// views are session-local, but their builds can refine shared scan
+	// statistics, so the broadcast stays unconditional.)
 	s.server.cfg.Group.InvalidatePlans()
-	return &Response{OK: true}
+	return &Response{OK: true, Usage: &usage}
 }
 
 // runQuery executes SQL (or a prepared statement when stmt is non-nil)

@@ -80,6 +80,32 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
+// CreateViewStmt is CREATE MATERIALIZED VIEW name AS SELECT ...: run the
+// defining query once and persist its rows so later scans of the view name
+// are served at row-store cost.
+type CreateViewStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// RefreshViewStmt is REFRESH MATERIALIZED VIEW name: re-run the defining
+// query (warm prompt-cache fingerprints answer for free; only cold ones
+// reach the live model) and swap in the fresh rows.
+type RefreshViewStmt struct {
+	Name string
+}
+
+func (*RefreshViewStmt) stmt() {}
+
+// DropViewStmt is DROP MATERIALIZED VIEW name.
+type DropViewStmt struct {
+	Name string
+}
+
+func (*DropViewStmt) stmt() {}
+
 // ---- Table expressions ----
 
 // JoinType enumerates supported join types.
@@ -407,6 +433,8 @@ func WalkStmtExprs(s Statement, visit func(Expr) bool) {
 		walkSelectExprs(st, visit)
 	case *ExplainStmt:
 		walkSelectExprs(st.Stmt, visit)
+	case *CreateViewStmt:
+		walkSelectExprs(st.Select, visit)
 	case *InsertStmt:
 		for _, row := range st.Rows {
 			for _, e := range row {

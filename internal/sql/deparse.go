@@ -106,6 +106,17 @@ func DeparseStmt(s Statement) string {
 			b.WriteString("ANALYZE ")
 		}
 		deparseSelect(&b, st.Stmt)
+	case *CreateViewStmt:
+		b.WriteString("CREATE MATERIALIZED VIEW ")
+		deparseIdent(&b, st.Name)
+		b.WriteString(" AS ")
+		deparseSelect(&b, st.Select)
+	case *RefreshViewStmt:
+		b.WriteString("REFRESH MATERIALIZED VIEW ")
+		deparseIdent(&b, st.Name)
+	case *DropViewStmt:
+		b.WriteString("DROP MATERIALIZED VIEW ")
+		deparseIdent(&b, st.Name)
 	}
 	return b.String()
 }

@@ -226,7 +226,24 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case p.peekKeyword("SELECT"):
 		return p.parseSelect()
 	case p.peekKeyword("CREATE"):
+		if t := p.peekAt(1); t.Kind == TokIdent && KeywordEq(t.Text, "MATERIALIZED") {
+			return p.parseCreateView()
+		}
 		return p.parseCreateTable()
+	case p.peekKeyword("REFRESH"):
+		p.advance()
+		name, err := p.parseViewName()
+		if err != nil {
+			return nil, err
+		}
+		return &RefreshViewStmt{Name: name}, nil
+	case p.peekKeyword("DROP"):
+		p.advance()
+		name, err := p.parseViewName()
+		if err != nil {
+			return nil, err
+		}
+		return &DropViewStmt{Name: name}, nil
 	case p.peekKeyword("INSERT"):
 		return p.parseInsert()
 	case p.peekKeyword("EXPLAIN"):
@@ -238,7 +255,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 		}
 		return &ExplainStmt{Stmt: sel, Analyze: analyze}, nil
 	default:
-		return nil, p.errorf("expected SELECT, CREATE, INSERT or EXPLAIN, found %q", p.peek().String())
+		return nil, p.errorf("expected SELECT, CREATE, INSERT, REFRESH, DROP or EXPLAIN, found %q", p.peek().String())
 	}
 }
 
@@ -523,6 +540,48 @@ func (p *Parser) parseCreateTable() (Statement, error) {
 		return nil, err
 	}
 	return stmt, nil
+}
+
+// parseCreateView parses CREATE MATERIALIZED VIEW name AS SELECT ...
+// (CREATE has been peeked, not consumed).
+func (p *Parser) parseCreateView() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("MATERIALIZED"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateViewStmt{Name: strings.ToLower(name), Select: sel}, nil
+}
+
+// parseViewName parses the "MATERIALIZED VIEW name" tail shared by REFRESH
+// and DROP (the verb has already been consumed).
+func (p *Parser) parseViewName() (string, error) {
+	if err := p.expectKeyword("MATERIALIZED"); err != nil {
+		return "", err
+	}
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return "", err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return "", err
+	}
+	return strings.ToLower(name), nil
 }
 
 func (p *Parser) parseInsert() (Statement, error) {

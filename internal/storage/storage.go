@@ -133,6 +133,38 @@ func (t *Table) InsertAll(rows []rel.Row) error {
 	return nil
 }
 
+// InsertBatch appends many rows under a single lock acquisition: every row
+// is coerced first, so a bad row fails the whole batch before any row is
+// stored (all-or-nothing, unlike InsertAll's stop-at-first-error). This is
+// the bulk-ingestion path materialized views load through.
+func (t *Table) InsertBatch(rows []rel.Row) error {
+	stored := make([]rel.Row, len(rows))
+	for r, row := range rows {
+		if len(row) != t.schema.Len() {
+			return fmt.Errorf("storage: %s expects %d values, got %d (row %d)", t.name, t.schema.Len(), len(row), r)
+		}
+		out := make(rel.Row, len(row))
+		for i, v := range row {
+			cv, err := rel.Coerce(v, t.schema.Col(i).Type)
+			if err != nil {
+				return fmt.Errorf("storage: %s.%s (row %d): %w", t.name, t.schema.Col(i).Name, r, err)
+			}
+			out[i] = cv
+		}
+		stored[r] = out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, row := range stored {
+		pos := len(t.rows)
+		t.rows = append(t.rows, row)
+		for _, idx := range t.indexes {
+			idx.add(row, pos)
+		}
+	}
+	return nil
+}
+
 // Scan returns a snapshot iterator over all rows. Rows must not be mutated
 // by callers.
 func (t *Table) Scan() *Rows {
